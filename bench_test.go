@@ -1,0 +1,281 @@
+// Package vrcluster_test benchmarks the reproduction end to end: one
+// benchmark per table and figure of the paper's evaluation, each running
+// the published workload through both policies and reporting the measured
+// reduction as a custom metric, plus micro-benchmarks of the simulator's
+// hot paths. The full five-trace sweep with printed rows lives in
+// cmd/vrbench; these benches regenerate each artifact at benchmark
+// granularity.
+package vrcluster_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"vrcluster/internal/cluster"
+	"vrcluster/internal/core"
+	"vrcluster/internal/experiments"
+	"vrcluster/internal/memory"
+	"vrcluster/internal/metrics"
+	"vrcluster/internal/node"
+	"vrcluster/internal/policy"
+	"vrcluster/internal/sim"
+	"vrcluster/internal/trace"
+	"vrcluster/internal/workload"
+)
+
+// benchQuantum trades a little timing resolution for benchmark speed; the
+// effect on hour-scale runs is below 0.1%.
+const benchQuantum = 100 * time.Millisecond
+
+func runPair(b *testing.B, g workload.Group, level int) (base, vr *metrics.Result) {
+	b.Helper()
+	gr, err := experiments.Run(experiments.RunConfig{
+		Group:   g,
+		Quantum: benchQuantum,
+		Levels:  []int{level},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lr := gr.Levels[0]
+	return lr.Base, lr.VR
+}
+
+func reportReduction(b *testing.B, base, vr *metrics.Result) {
+	b.Helper()
+	b.ReportMetric(100*metrics.Reduction(base.TotalExec.Seconds(), vr.TotalExec.Seconds()), "%exec-reduction")
+	b.ReportMetric(100*metrics.Reduction(base.TotalQueue.Seconds(), vr.TotalQueue.Seconds()), "%queue-reduction")
+	b.ReportMetric(100*metrics.Reduction(base.MeanSlowdown, vr.MeanSlowdown), "%slowdown-reduction")
+}
+
+// BenchmarkTable1Workloads regenerates Table 1: synthesizing group-1 jobs
+// from the SPEC-2000 catalog.
+func BenchmarkTable1Workloads(b *testing.B) {
+	programs := workload.Programs(workload.Group1)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := programs[i%len(programs)]
+		if _, err := p.NewJob(i, 0, rng, workload.DefaultJitter); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Workloads regenerates Table 2: synthesizing group-2 jobs.
+func BenchmarkTable2Workloads(b *testing.B) {
+	programs := workload.Programs(workload.Group2)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := programs[i%len(programs)]
+		if _, err := p.NewJob(i, 0, rng, workload.DefaultJitter); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1 (execution and queuing times of
+// workload group 1): one full paired simulation of SPEC-Trace-3 per
+// iteration, reporting the reductions.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base, vr := runPair(b, workload.Group1, 3)
+		reportReduction(b, base, vr)
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2 (average slowdowns and idle memory
+// volumes of workload group 1) on the lightest trace.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base, vr := runPair(b, workload.Group1, 1)
+		reportReduction(b, base, vr)
+		b.ReportMetric(base.AvgIdleMB, "MB-idle-base")
+		b.ReportMetric(vr.AvgIdleMB, "MB-idle-vr")
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3 (execution and queuing times of
+// workload group 2) on App-Trace-3.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base, vr := runPair(b, workload.Group2, 3)
+		reportReduction(b, base, vr)
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4 (average slowdowns and job balance
+// skew of workload group 2) on App-Trace-2.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base, vr := runPair(b, workload.Group2, 2)
+		reportReduction(b, base, vr)
+		b.ReportMetric(base.AvgSkew, "skew-base")
+		b.ReportMetric(vr.AvgSkew, "skew-vr")
+	}
+}
+
+// BenchmarkAnalyticModel regenerates the Section 5 verification: the
+// reserved-queue bound and gain decomposition on App-Trace-1.
+func BenchmarkAnalyticModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base, vr := runPair(b, workload.Group2, 1)
+		b.ReportMetric((base.TotalExec - vr.TotalExec).Seconds(), "s-measured-gain")
+	}
+}
+
+// BenchmarkAblationRules regenerates the reserving-period rule ablation
+// (full drain vs early fit, Section 2.1) on App-Trace-2.
+func BenchmarkAblationRules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.AblationRules(experiments.RunConfig{
+			Group:   workload.Group2,
+			Quantum: benchQuantum,
+		}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Variant == "vr-full-drain" || r.Variant == "vr-early-fit" {
+				b.ReportMetric(r.Result.TotalExec.Seconds(), "s-"+r.Variant)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBigJobs regenerates the Section 2.3 caveat: virtual
+// reconfiguration on a big-job-dominant workload.
+func BenchmarkAblationBigJobs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.AblationBigJobs(experiments.RunConfig{
+			Group:   workload.Group1,
+			Quantum: benchQuantum,
+		}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportReduction(b, results[0].Result, results[1].Result)
+	}
+}
+
+// Micro-benchmarks of the simulator substrate.
+
+// BenchmarkEngineScheduleRun measures raw event throughput.
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := sim.NewEngine(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration(i)*time.Microsecond, func() {})
+	}
+	e.Run()
+}
+
+// BenchmarkNodeTick measures the quantum-advance hot path with a
+// multiprogrammed, memory-pressured workstation.
+func BenchmarkNodeTick(b *testing.B) {
+	n, err := node.New(node.Config{
+		CPUSpeedMHz:  400,
+		CPUThreshold: 8,
+		Memory:       memory.Config{CapacityMB: 384},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		j, err := workload.Programs(workload.Group1)[i%6].NewJob(i, 0, nil, workload.Jitter{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n.Admit(j, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dt := 10 * time.Millisecond
+	now := time.Duration(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += dt
+		if _, err := n.Tick(dt, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGenerate measures standard trace synthesis.
+func BenchmarkTraceGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Standard(workload.Group1, 3, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterRun measures a complete small trace execution on a
+// 32-node cluster under the full V-Reconfiguration stack, at the fine
+// 10 ms quantum.
+func BenchmarkClusterRun(b *testing.B) {
+	tr, err := trace.Generate(trace.Config{
+		Name:     "bench",
+		Group:    workload.Group1,
+		Sigma:    2,
+		Mu:       2,
+		Jobs:     60,
+		Duration: 10 * time.Minute,
+		Nodes:    32,
+		Seed:     1,
+		Jitter:   workload.DefaultJitter,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched, err := core.NewVReconfiguration(core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := cluster.Cluster1()
+		cfg.Quantum = 10 * time.Millisecond
+		c, err := cluster.New(cfg, sched)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterRunBaseline is the same execution under plain
+// G-Loadsharing, isolating the reconfiguration machinery's overhead (the
+// paper: "the adaptive process causes little additional overhead").
+func BenchmarkClusterRunBaseline(b *testing.B) {
+	tr, err := trace.Generate(trace.Config{
+		Name:     "bench",
+		Group:    workload.Group1,
+		Sigma:    2,
+		Mu:       2,
+		Jobs:     60,
+		Duration: 10 * time.Minute,
+		Nodes:    32,
+		Seed:     1,
+		Jitter:   workload.DefaultJitter,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.Cluster1()
+		cfg.Quantum = 10 * time.Millisecond
+		c, err := cluster.New(cfg, policy.NewGLoadSharing())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Command vrbench regenerates the paper's evaluation: every table and
+// figure of Section 4, the Section 5 analytical verification, and the
+// design-choice ablations.
+//
+// Examples:
+//
+//	vrbench                      # everything
+//	vrbench -exp fig1            # Figure 1 only
+//	vrbench -exp ablations -level 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vrcluster/internal/experiments"
+	"vrcluster/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vrbench", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, analytic, intervals, ablations, seeds")
+		seed    = fs.Int64("seed", experiments.DefaultSeed, "trace generation seed")
+		quantum = fs.Duration("quantum", 100*time.Millisecond, "CPU scheduling quantum")
+		level   = fs.Int("level", 3, "trace level for the ablation studies")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	out := os.Stdout
+	cfg := func(g workload.Group) experiments.RunConfig {
+		return experiments.RunConfig{Group: g, Seed: *seed, Quantum: *quantum}
+	}
+
+	needGroup1 := *exp == "all" || *exp == "fig1" || *exp == "fig2" || *exp == "analytic" || *exp == "intervals"
+	needGroup2 := *exp == "all" || *exp == "fig3" || *exp == "fig4"
+
+	var g1, g2 *experiments.GroupRuns
+	var err error
+	if needGroup1 {
+		fmt.Fprintln(out, "running workload group 1 (SPEC-Trace-1..5, cluster 1, 32 nodes)...")
+		if g1, err = experiments.Run(cfg(workload.Group1)); err != nil {
+			return err
+		}
+	}
+	if needGroup2 {
+		fmt.Fprintln(out, "running workload group 2 (App-Trace-1..5, cluster 2, 32 nodes)...")
+		if g2, err = experiments.Run(cfg(workload.Group2)); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(out)
+
+	switch *exp {
+	case "all":
+		if err := experiments.RenderCatalog(out, workload.Group1); err != nil {
+			return err
+		}
+		if err := experiments.RenderCatalog(out, workload.Group2); err != nil {
+			return err
+		}
+		if err := experiments.RenderGroup(out, g1, *quantum); err != nil {
+			return err
+		}
+		if err := experiments.RenderGroup(out, g2, *quantum); err != nil {
+			return err
+		}
+		return ablations(out, cfg(workload.Group1), *level)
+	case "table1":
+		return experiments.RenderCatalog(out, workload.Group1)
+	case "table2":
+		return experiments.RenderCatalog(out, workload.Group2)
+	case "fig1":
+		for _, t := range g1.ExecQueueTables() {
+			if err := experiments.RenderTable(out, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "fig2":
+		for _, t := range g1.SlowdownTables() {
+			if err := experiments.RenderTable(out, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "fig3":
+		for _, t := range g2.ExecQueueTables() {
+			if err := experiments.RenderTable(out, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "fig4":
+		for _, t := range g2.SlowdownTables() {
+			if err := experiments.RenderTable(out, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "analytic":
+		return experiments.RenderAnalyticRows(out, g1.AnalyticCheck(*quantum))
+	case "intervals":
+		rows, err := g1.IntervalInsensitivity()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderIntervalRows(out, rows)
+	case "ablations":
+		return ablations(out, cfg(workload.Group1), *level)
+	case "seeds":
+		rows, err := experiments.SeedSensitivity(cfg(workload.Group1), *level, []int64{7, 21, 42, 99, 1234})
+		if err != nil {
+			return err
+		}
+		return experiments.RenderSeedRows(out, rows)
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+}
+
+func ablations(out *os.File, cfg experiments.RunConfig, level int) error {
+	fmt.Fprintf(out, "running ablations on trace level %d...\n\n", level)
+	rules, err := experiments.AblationRules(cfg, level)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderAblation(out, "Ablation — policy variants (Sections 1, 2.1)", rules); err != nil {
+		return err
+	}
+	caps, err := experiments.AblationReservationCap(cfg, level, []int{1, 2, 4, 8, 16})
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderAblation(out, "Ablation — reservation cap (Section 2.2)", caps); err != nil {
+		return err
+	}
+	periods, err := experiments.AblationExchangePeriod(cfg, level,
+		[]time.Duration{500 * time.Millisecond, time.Second, 2 * time.Second, 4 * time.Second})
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderAblation(out, "Ablation — load exchange period (Section 6)", periods); err != nil {
+		return err
+	}
+	big, err := experiments.AblationBigJobs(cfg, level)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderAblation(out, "Ablation — big-job-dominant workload (Section 2.3)", big); err != nil {
+		return err
+	}
+	het, err := experiments.AblationHeterogeneous(cfg, level)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderAblation(out, "Ablation — heterogeneous cluster (Section 2.3)", het); err != nil {
+		return err
+	}
+	nram, err := experiments.AblationNetworkRAM(cfg, level)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderAblation(out, "Ablation — network RAM for oversized jobs (Section 2.3)", nram); err != nil {
+		return err
+	}
+	shared, err := experiments.AblationSharedNetwork(cfg, level)
+	if err != nil {
+		return err
+	}
+	return experiments.RenderAblation(out, "Ablation — dedicated vs shared Ethernet", shared)
+}

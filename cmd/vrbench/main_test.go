@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+	if err := run([]string{"-exp", "bogus"}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestCatalogExperiments(t *testing.T) {
+	// The two table experiments run no simulations and must be fast.
+	if err := run([]string{"-exp", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "table2"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+// Command vrsim runs one cluster simulation: a workload trace (standard or
+// from a file) executed under a chosen scheduling policy, printing the
+// summary metrics the paper reports.
+//
+// Examples:
+//
+//	vrsim -group 1 -level 3 -policy vr
+//	vrsim -group 2 -level 5 -policy gls -quantum 10ms
+//	vrsim -trace mytrace.json -policy vr-early -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vrcluster/internal/cluster"
+	"vrcluster/internal/core"
+	"vrcluster/internal/metrics"
+	"vrcluster/internal/policy"
+	"vrcluster/internal/trace"
+	"vrcluster/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vrsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vrsim", flag.ContinueOnError)
+	var (
+		group      = fs.Int("group", 1, "workload group (1 = SPEC, 2 = applications)")
+		level      = fs.Int("level", 1, "submission intensity 1..5")
+		policyArg  = fs.String("policy", "vr", "policy: gls, vr, vr-early, vr-netram, none, cpu, suspend")
+		seed       = fs.Int64("seed", 42, "trace generation seed")
+		quantum    = fs.Duration("quantum", 100*time.Millisecond, "CPU scheduling quantum")
+		traceFile  = fs.String("trace", "", "load trace from JSON file instead of generating")
+		jsonOut    = fs.Bool("json", false, "emit the result as JSON")
+		maxTime    = fs.Duration("maxtime", 0, "virtual time safety cap (0 = default)")
+		maxRes     = fs.Int("maxres", 0, "reservation cap override (0 = default)")
+		faultScale = fs.Float64("faultscale", 0, "fault model scale override (0 = default)")
+		largeFrac  = fs.Float64("largefrac", 0, "large-job fraction override (0 = default)")
+		ageFactor  = fs.Float64("agefactor", 0, "min victim age factor override (0 = default)")
+		floorFrac  = fs.Float64("floor", 0, "admission idle-memory floor fraction override (0 = default)")
+		recordFile = fs.String("record", "", "record per-job activity (10ms granularity) to this JSON file")
+		seriesFile = fs.String("series", "", "write the per-second cluster state series to this CSV file")
+		jobsFile   = fs.String("jobscsv", "", "write per-job breakdowns to this CSV file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tr, err := loadTrace(*traceFile, *group, *level, *seed)
+	if err != nil {
+		return err
+	}
+
+	cfg := cluster.Cluster1()
+	if tr.Group == workload.Group2 {
+		cfg = cluster.Cluster2()
+	}
+	cfg.Quantum = *quantum
+	if *maxTime > 0 {
+		cfg.MaxVirtualTime = *maxTime
+	}
+	if *faultScale > 0 {
+		for i := range cfg.Nodes {
+			cfg.Nodes[i].Memory.FaultScale = *faultScale
+		}
+	}
+	if *recordFile != "" {
+		cfg.RecordInterval = 10 * time.Millisecond
+	}
+
+	sched, err := buildPolicy(*policyArg, core.Options{
+		MaxReserved:      *maxRes,
+		LargeJobFraction: *largeFrac,
+		MinAgeFactor:     *ageFactor,
+	})
+	if err != nil {
+		return err
+	}
+	if *floorFrac > 0 {
+		switch s := sched.(type) {
+		case *policy.GLoadSharing:
+			s.AdmitFloorFrac = *floorFrac
+		case *core.VReconfiguration:
+			s.LoadSharing().AdmitFloorFrac = *floorFrac
+		}
+	}
+	c, err := cluster.New(cfg, sched)
+	if err != nil {
+		return err
+	}
+	res, err := c.Run(tr)
+	if err != nil {
+		return err
+	}
+	if vr, ok := sched.(*core.VReconfiguration); ok {
+		fmt.Fprintf(os.Stderr, "reconfig stats: %+v\n", vr.Manager().Stats())
+	}
+	if *recordFile != "" {
+		f, err := os.Create(*recordFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := c.Recording().Encode(f); err != nil {
+			return err
+		}
+	}
+	if *seriesFile != "" {
+		f, err := os.Create(*seriesFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := c.Collector().WriteCSV(f); err != nil {
+			return err
+		}
+	}
+	if *jobsFile != "" {
+		f, err := os.Create(*jobsFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := metrics.WriteJobsCSV(f, c.RanJobs()); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		return enc.Encode(res)
+	}
+	printResult(res)
+	return nil
+}
+
+func loadTrace(file string, group, level int, seed int64) (*trace.Trace, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Decode(f)
+	}
+	g := workload.Group1
+	if group == 2 {
+		g = workload.Group2
+	} else if group != 1 {
+		return nil, fmt.Errorf("unknown workload group %d", group)
+	}
+	return trace.Standard(g, level, seed)
+}
+
+func buildPolicy(name string, opts core.Options) (cluster.Scheduler, error) {
+	switch name {
+	case "gls":
+		return policy.NewGLoadSharing(), nil
+	case "vr":
+		opts.Rule = core.RuleFullDrain
+		return core.NewVReconfiguration(opts)
+	case "vr-early":
+		opts.Rule = core.RuleEarlyFit
+		return core.NewVReconfiguration(opts)
+	case "vr-netram":
+		opts.Rule = core.RuleFullDrain
+		opts.NetworkRAM = true
+		return core.NewVReconfiguration(opts)
+	case "none":
+		return policy.NoSharing{}, nil
+	case "cpu":
+		return policy.CPUSharing{}, nil
+	case "suspend":
+		return policy.NewSuspension(), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func printResult(r *metrics.Result) {
+	fmt.Printf("trace: %s policy: %s jobs: %d\n", r.Trace, r.Policy, r.Jobs)
+	fmt.Printf(" total execution time: %12.1fs\n", r.TotalExec.Seconds())
+	fmt.Printf("   cpu:                %12.1fs\n", r.TotalCPU.Seconds())
+	fmt.Printf("   paging:             %12.1fs\n", r.TotalPage.Seconds())
+	fmt.Printf("   queuing:            %12.1fs (start wait %.1fs)\n", r.TotalQueue.Seconds(), r.TotalStartWait.Seconds())
+	fmt.Printf("   migration:          %12.1fs\n", r.TotalMig.Seconds())
+	fmt.Printf(" mean slowdown:        %12.3f (max %.2f)\n", r.MeanSlowdown, r.MaxSlowdown)
+	fmt.Printf(" makespan:             %12.1fs\n", r.Makespan.Seconds())
+	fmt.Printf(" avg idle memory:      %12.1f MB\n", r.AvgIdleMB)
+	fmt.Printf(" avg job balance skew: %12.3f\n", r.AvgSkew)
+	fmt.Printf(" blocking episodes: %d reservations: %d (total %s) special migrations: %d\n",
+		r.BlockingEpisodes, r.Reservations, r.ReservationTime.Round(time.Second), r.ReservedMigration)
+	fmt.Printf(" migrations: %d remote submissions: %d failed landings: %d pending peak: %d suspensions: %d\n",
+		r.Migrations, r.RemoteSubmissions, r.FailedLandings, r.PendingPeak, r.Suspensions)
+}

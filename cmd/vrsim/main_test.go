@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vrcluster/internal/core"
+	"vrcluster/internal/trace"
+	"vrcluster/internal/workload"
+)
+
+func TestBuildPolicy(t *testing.T) {
+	for _, name := range []string{"gls", "vr", "vr-early", "vr-netram", "none", "cpu", "suspend"} {
+		sched, err := buildPolicy(name, core.Options{})
+		if err != nil {
+			t.Errorf("buildPolicy(%q): %v", name, err)
+		}
+		if sched == nil || sched.Name() == "" {
+			t.Errorf("buildPolicy(%q) returned unusable scheduler", name)
+		}
+	}
+	if _, err := buildPolicy("bogus", core.Options{}); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestLoadTrace(t *testing.T) {
+	tr, err := loadTrace("", 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "App-Trace-1" {
+		t.Errorf("name = %q", tr.Name)
+	}
+	if _, err := loadTrace("", 3, 1, 1); err == nil {
+		t.Error("unknown group should fail")
+	}
+	if _, err := loadTrace("/nonexistent/trace.json", 1, 1, 1); err == nil {
+		t.Error("missing file should fail")
+	}
+
+	// Round-trip through a file.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadTrace(path, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != tr.Name || len(back.Items) != len(tr.Items) {
+		t.Error("file round trip lost data")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+	if err := run([]string{"-policy", "bogus"}); err == nil {
+		t.Error("unknown policy should fail")
+	}
+	if err := run([]string{"-group", "9"}); err == nil {
+		t.Error("unknown group should fail")
+	}
+}
+
+func TestRunSmallSimulation(t *testing.T) {
+	// Generate a tiny custom trace, then simulate it end to end.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "small.json")
+	tr, err := trace.Generate(trace.Config{
+		Name:     "small",
+		Group:    workload.Group2,
+		Sigma:    2,
+		Mu:       2,
+		Jobs:     20,
+		Duration: 300 * 1e9, // 300 s
+		Nodes:    32,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", path, "-policy", "vr", "-json"}); err != nil {
+		t.Fatalf("simulation failed: %v", err)
+	}
+}

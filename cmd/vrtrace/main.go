@@ -1,0 +1,132 @@
+// Command vrtrace generates, inspects, and validates workload traces.
+//
+// Examples:
+//
+//	vrtrace -group 1 -level 3 -o spec3.json     # generate a standard trace
+//	vrtrace -inspect spec3.json                 # summarize a trace file
+//	vrtrace -group 2 -jobs 100 -duration 10m -sigma 2 -mu 2 -o custom.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vrcluster/internal/stats"
+	"vrcluster/internal/trace"
+	"vrcluster/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vrtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vrtrace", flag.ContinueOnError)
+	var (
+		group    = fs.Int("group", 1, "workload group (1 or 2)")
+		level    = fs.Int("level", 0, "standard trace level 1..5 (0 = custom)")
+		jobs     = fs.Int("jobs", 0, "custom trace: job count")
+		duration = fs.Duration("duration", 0, "custom trace: submission window")
+		sigma    = fs.Float64("sigma", 0, "custom trace: lognormal sigma")
+		mu       = fs.Float64("mu", 0, "custom trace: lognormal mu")
+		nodes    = fs.Int("nodes", trace.StandardNodes, "cluster size")
+		seed     = fs.Int64("seed", 42, "generation seed")
+		outFile  = fs.String("o", "", "output file (default stdout)")
+		inspect  = fs.String("inspect", "", "summarize an existing trace file instead of generating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *inspect != "" {
+		return inspectTrace(*inspect)
+	}
+
+	g := workload.Group1
+	if *group == 2 {
+		g = workload.Group2
+	} else if *group != 1 {
+		return fmt.Errorf("unknown workload group %d", *group)
+	}
+
+	var tr *trace.Trace
+	var err error
+	if *level > 0 {
+		tr, err = trace.Standard(g, *level, *seed)
+	} else {
+		tr, err = trace.Generate(trace.Config{
+			Name:     fmt.Sprintf("custom-g%d", *group),
+			Group:    g,
+			Sigma:    *sigma,
+			Mu:       *mu,
+			Jobs:     *jobs,
+			Duration: *duration,
+			Nodes:    *nodes,
+			Seed:     *seed,
+			Jitter:   workload.DefaultJitter,
+		})
+	}
+	if err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return tr.Encode(out)
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Decode(f)
+	if err != nil {
+		return err
+	}
+
+	var (
+		byProgram = make(map[string]int)
+		cpu       stats.Online
+		ws        stats.Online
+		submits   []float64
+	)
+	for _, it := range tr.Items {
+		byProgram[it.Program]++
+		cpu.Add(float64(it.CPUMillis) / 1000)
+		ws.Add(it.WorkingSetMB)
+		submits = append(submits, float64(it.SubmitMillis)/1000)
+	}
+	med, err := stats.Percentile(submits, 50)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("trace: %s (group %d)\n", tr.Name, tr.Group)
+	fmt.Printf(" jobs: %d over %s on %d nodes (sigma=%.1f mu=%.1f seed=%d)\n",
+		len(tr.Items), tr.Duration(), tr.Nodes, tr.Sigma, tr.Mu, tr.Seed)
+	fmt.Printf(" median submission: %.1fs\n", med)
+	fmt.Printf(" cpu demand: mean %.1fs min %.1fs max %.1fs\n", cpu.Mean(), cpu.Min(), cpu.Max())
+	fmt.Printf(" working set: mean %.1fMB min %.1fMB max %.1fMB\n", ws.Mean(), ws.Min(), ws.Max())
+	fmt.Printf(" offered CPU load: %.2f\n",
+		cpu.Mean()*float64(len(tr.Items))/(tr.Duration().Seconds()*float64(tr.Nodes)))
+	fmt.Println(" program mix:")
+	for _, p := range workload.Programs(tr.Group) {
+		if n := byProgram[p.Name]; n > 0 {
+			fmt.Printf("  %-10s %4d (%4.1f%%)\n", p.Name, n, 100*float64(n)/float64(len(tr.Items)))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateStandardToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.json")
+	if err := run([]string{"-group", "2", "-level", "1", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("empty trace file")
+	}
+	// Inspecting the file must succeed.
+	if err := run([]string{"-inspect", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateCustom(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.json")
+	args := []string{
+		"-group", "1", "-jobs", "10", "-duration", "5m",
+		"-sigma", "2", "-mu", "2", "-nodes", "4", "-o", path,
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-inspect", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+	if err := run([]string{"-group", "9", "-level", "1"}); err == nil {
+		t.Error("unknown group should fail")
+	}
+	if err := run([]string{"-group", "1"}); err == nil {
+		t.Error("custom generation without parameters should fail")
+	}
+	if err := run([]string{"-inspect", "/nonexistent.json"}); err == nil {
+		t.Error("missing inspect file should fail")
+	}
+}

@@ -1,0 +1,125 @@
+// Recordreplay: the paper's trace-driven methodology, end to end.
+//
+// The authors instrumented the kernel to record each job's execution
+// activities at 10 ms granularity (Section 3.1) and then replayed the
+// collected traces against different scheduling policies. This example
+// does the same inside the simulator: run a workload under G-Loadsharing
+// with the tracing facility on, inspect what the facility captured, derive
+// a replayable trace from the recording, and replay it under
+// V-Reconfiguration to compare policies on identical work.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vrcluster/internal/cluster"
+	"vrcluster/internal/core"
+	"vrcluster/internal/memory"
+	"vrcluster/internal/metrics"
+	"vrcluster/internal/node"
+	"vrcluster/internal/policy"
+	"vrcluster/internal/record"
+	"vrcluster/internal/trace"
+	"vrcluster/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+const nodes = 8
+
+func run() error {
+	tr, err := trace.Generate(trace.Config{
+		Name:     "measured",
+		Group:    workload.Group2,
+		Sigma:    2.0,
+		Mu:       2.0,
+		Jobs:     40,
+		Duration: 8 * time.Minute,
+		Nodes:    nodes,
+		Seed:     3,
+		Jitter:   workload.DefaultJitter,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Phase 1: measure under the baseline with the tracing facility on.
+	base, rec, err := measure(tr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("measured run: %d jobs under %s, mean slowdown %.2f\n",
+		base.Jobs, base.Policy, base.MeanSlowdown)
+	fmt.Printf("tracing facility captured %d job traces at %dms granularity\n",
+		len(rec.Jobs), rec.IntervalMillis)
+
+	var records int
+	for _, jt := range rec.Jobs {
+		records += len(jt.Activities)
+	}
+	fmt.Printf("total activity records: %d (span %v)\n\n", records, rec.Span.Round(time.Second))
+
+	// A peek at what the facility sees for one job.
+	jt := rec.Jobs[0]
+	fmt.Printf("job %d (%s): submitted %.1fs, lifetime %.1fs, working set %.1f MB\n",
+		jt.Header.JobID, jt.Header.Program,
+		float64(jt.Header.SubmitMillis)/1000, float64(jt.Header.CPUMillis)/1000,
+		jt.Header.WorkingSetMB)
+	tot := jt.Totals()
+	fmt.Printf(" recorded service: cpu %v, paging %v, queuing %v\n\n",
+		tot.CPU.Round(time.Millisecond), tot.Page.Round(time.Millisecond), tot.Queue.Round(time.Millisecond))
+
+	// Phase 2: derive a replayable trace from the recording and replay
+	// it under the reconfiguration policy.
+	replay, err := trace.FromLog(rec, workload.Group2)
+	if err != nil {
+		return err
+	}
+	sched, err := core.NewVReconfiguration(core.Options{Rule: core.RuleFullDrain})
+	if err != nil {
+		return err
+	}
+	c, err := newCluster(0, sched)
+	if err != nil {
+		return err
+	}
+	vr, err := c.Run(replay)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %q under %s: mean slowdown %.2f (baseline %.2f)\n",
+		replay.Name, vr.Policy, vr.MeanSlowdown, base.MeanSlowdown)
+	fmt.Printf("identical work replayed: total CPU %v vs %v\n",
+		vr.TotalCPU.Round(time.Second), base.TotalCPU.Round(time.Second))
+	return nil
+}
+
+func measure(tr *trace.Trace) (*metrics.Result, *record.Log, error) {
+	c, err := newCluster(record.DefaultInterval, policy.NewGLoadSharing())
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := c.Run(tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, c.Recording(), nil
+}
+
+func newCluster(recordInterval time.Duration, sched cluster.Scheduler) (*cluster.Cluster, error) {
+	cfg := cluster.Homogeneous(nodes, node.Config{
+		CPUSpeedMHz:  233,
+		CPUThreshold: 4,
+		Memory:       memory.Config{CapacityMB: 128},
+	})
+	cfg.Quantum = 10 * time.Millisecond
+	cfg.RecordInterval = recordInterval
+	cfg.MaxVirtualTime = 6 * time.Hour
+	return cluster.New(cfg, sched)
+}

@@ -1,0 +1,3 @@
+module vrcluster
+
+go 1.22

@@ -1,0 +1,151 @@
+// Package analytic implements the performance model of the paper's
+// Section 5, which decomposes a workload's total execution time into CPU
+// service, paging, queuing, and migration components
+//
+//	T_exe = T_cpu + T_page + T_que + T_mig
+//
+// and derives the condition under which virtual reconfiguration reduces
+// total execution time:
+//
+//	T_exe - T̂_exe  >  T_que - T̂ⁿ_que - Σ_k Σ_j (Q_r(k) - j) · w_kj
+//
+// where T̂ quantities are measured with virtual reconfiguration, T̂ⁿ_que is
+// the queuing time in non-reserved workstations, and the double sum bounds
+// the FIFO queuing time inside the reserved workstations (w_kj is the
+// interval between the arrival of job j+1 and the completion of job j in
+// reserved workstation k).
+package analytic
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vrcluster/internal/core"
+	"vrcluster/internal/metrics"
+)
+
+// VerifyIdentity checks the Section 5 decomposition on one run: the total
+// execution time must equal the sum of its four components to within tol
+// (accounting granularity of one scheduling quantum per job).
+func VerifyIdentity(r *metrics.Result, tol time.Duration) error {
+	sum := r.TotalCPU + r.TotalPage + r.TotalQueue + r.TotalMig
+	diff := r.TotalExec - sum
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > tol {
+		return fmt.Errorf("analytic: identity violated by %v (exec %v, parts %v)", diff, r.TotalExec, sum)
+	}
+	return nil
+}
+
+// ReservedQueueBound evaluates Σ_k Σ_j (Q_r(k) - j) · w_kj over completed
+// reservations: the model's upper bound on queuing delay introduced inside
+// reserved workstations. Jobs are taken in arrival order; w_kj is the
+// interval between the arrival of job j+1 and the completion of job j
+// (clamped at zero when job j finished first).
+func ReservedQueueBound(recs []core.ReservationRecord) time.Duration {
+	var bound time.Duration
+	for _, rec := range recs {
+		q := len(rec.Arrivals)
+		if len(rec.Completions) < q {
+			q = len(rec.Completions)
+		}
+		for j := 0; j < q-1; j++ {
+			w := rec.Completions[j] - rec.Arrivals[j+1]
+			if w < 0 {
+				continue
+			}
+			bound += time.Duration(q-1-j) * w
+		}
+	}
+	return bound
+}
+
+// Gain is the model's comparison of a baseline run and a virtual
+// reconfiguration run of the same workload.
+type Gain struct {
+	// DeltaExec is the measured total-execution-time reduction
+	// (positive when reconfiguration wins).
+	DeltaExec time.Duration
+	// DeltaCPU should be ~0: jobs demand identical CPU service on both
+	// cluster configurations (model step 1).
+	DeltaCPU time.Duration
+	// DeltaPage is the paging-time reduction (model step 2, the
+	// objective of the reconfiguration).
+	DeltaPage time.Duration
+	// DeltaQueue is the queuing-time reduction (model step 3).
+	DeltaQueue time.Duration
+	// DeltaMig is the migration-time reduction; the model argues this
+	// term is insignificant because the number of large jobs is small
+	// (model step 4).
+	DeltaMig time.Duration
+	// ReservedBound is Σ_k Σ_j (Q_r(k)-j) w_kj for the reconfigured run.
+	ReservedBound time.Duration
+}
+
+// Compare builds the Section 5 gain decomposition for a (baseline,
+// reconfigured) pair run on the same trace.
+func Compare(base, vr *metrics.Result, recs []core.ReservationRecord) (Gain, error) {
+	if base == nil || vr == nil {
+		return Gain{}, errors.New("analytic: nil result")
+	}
+	if base.Trace != vr.Trace || base.Jobs != vr.Jobs {
+		return Gain{}, fmt.Errorf("analytic: mismatched runs %q(%d) vs %q(%d)",
+			base.Trace, base.Jobs, vr.Trace, vr.Jobs)
+	}
+	return Gain{
+		DeltaExec:     base.TotalExec - vr.TotalExec,
+		DeltaCPU:      base.TotalCPU - vr.TotalCPU,
+		DeltaPage:     base.TotalPage - vr.TotalPage,
+		DeltaQueue:    base.TotalQueue - vr.TotalQueue,
+		DeltaMig:      base.TotalMig - vr.TotalMig,
+		ReservedBound: ReservedQueueBound(recs),
+	}, nil
+}
+
+// ConsistentWithIdentity checks that the measured execution-time gain
+// equals the sum of the component gains to within tol, i.e. that the model
+// and the simulator agree on where the gain came from.
+func (g Gain) ConsistentWithIdentity(tol time.Duration) error {
+	sum := g.DeltaCPU + g.DeltaPage + g.DeltaQueue + g.DeltaMig
+	diff := g.DeltaExec - sum
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > tol {
+		return fmt.Errorf("analytic: gain decomposition off by %v", diff)
+	}
+	return nil
+}
+
+// ConditionHolds evaluates the model's key gain condition: the queuing
+// time outside reserved workstations must undercut the baseline queuing
+// time by more than the queuing introduced inside reserved workstations.
+// T̂ⁿ_que is approximated by the reconfigured run's total queuing time
+// minus the reserved bound.
+func (g Gain) ConditionHolds() bool {
+	// T_que - T̂ⁿ_que - bound > 0 with T̂ⁿ_que = T̂_que - bound reduces to
+	// DeltaQueue > 0; keep the explicit form for clarity against the
+	// paper's inequality.
+	return g.DeltaQueue > 0
+}
+
+// Predicted reports the model's approximate execution-time gain
+// (T_page - T̂_page) + (T_que - T̂_que), which assumes DeltaCPU = 0 and
+// DeltaMig insignificant.
+func (g Gain) Predicted() time.Duration {
+	return g.DeltaPage + g.DeltaQueue
+}
+
+// PredictionError reports how far the model's approximation deviates from
+// the measured gain, as a fraction of the measured gain (0 when both are
+// zero).
+func (g Gain) PredictionError() float64 {
+	if g.DeltaExec == 0 {
+		return 0
+	}
+	diff := float64(g.Predicted() - g.DeltaExec)
+	return diff / float64(g.DeltaExec)
+}

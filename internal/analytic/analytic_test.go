@@ -1,0 +1,179 @@
+package analytic
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vrcluster/internal/core"
+	"vrcluster/internal/job"
+	"vrcluster/internal/metrics"
+)
+
+func result(t *testing.T, traceName string, cpu, wall time.Duration) *metrics.Result {
+	t.Helper()
+	j, err := job.New(1, "p", cpu, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Start(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if done, err := j.Account(cpu, 0, wall-cpu, wall); err != nil || !done {
+		t.Fatalf("account: %v %v", done, err)
+	}
+	r, err := metrics.BuildResult(traceName, "P", []*job.Job{j}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestVerifyIdentity(t *testing.T) {
+	r := result(t, "T", 10*time.Second, 25*time.Second)
+	if err := VerifyIdentity(r, time.Millisecond); err != nil {
+		t.Errorf("identity should hold on a consistent result: %v", err)
+	}
+	// Corrupt one component.
+	r.TotalPage += time.Second
+	if err := VerifyIdentity(r, time.Millisecond); err == nil {
+		t.Error("corrupted result should violate the identity")
+	}
+	// But a generous tolerance forgives it.
+	if err := VerifyIdentity(r, 2*time.Second); err != nil {
+		t.Errorf("tolerance should forgive: %v", err)
+	}
+}
+
+func TestReservedQueueBound(t *testing.T) {
+	tests := []struct {
+		name string
+		recs []core.ReservationRecord
+		want time.Duration
+	}{
+		{name: "empty", want: 0},
+		{
+			name: "single job has no waits",
+			recs: []core.ReservationRecord{{
+				Arrivals:    []time.Duration{0},
+				Completions: []time.Duration{10 * time.Second},
+			}},
+			want: 0,
+		},
+		{
+			// Q=2: w_k1 = completion(1) - arrival(2) = 30-10 = 20s,
+			// weighted by (Q-1) = 1.
+			name: "two jobs overlapping",
+			recs: []core.ReservationRecord{{
+				Arrivals:    []time.Duration{0, 10 * time.Second},
+				Completions: []time.Duration{30 * time.Second, 50 * time.Second},
+			}},
+			want: 20 * time.Second,
+		},
+		{
+			// Job 1 finished before job 2 arrived: no induced wait.
+			name: "no overlap",
+			recs: []core.ReservationRecord{{
+				Arrivals:    []time.Duration{0, 40 * time.Second},
+				Completions: []time.Duration{30 * time.Second, 50 * time.Second},
+			}},
+			want: 0,
+		},
+		{
+			// Q=3 all arriving at once, completions 10/20/30:
+			// w_k1 = 10-0 = 10 weighted 2; w_k2 = 20-0 = 20 weighted 1.
+			name: "three simultaneous",
+			recs: []core.ReservationRecord{{
+				Arrivals:    []time.Duration{0, 0, 0},
+				Completions: []time.Duration{10 * time.Second, 20 * time.Second, 30 * time.Second},
+			}},
+			want: 40 * time.Second,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ReservedQueueBound(tt.recs); got != tt.want {
+				t.Errorf("bound = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := result(t, "T", 10*time.Second, 40*time.Second)
+	vr := result(t, "T", 10*time.Second, 30*time.Second)
+	g, err := Compare(base, vr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DeltaExec != 10*time.Second {
+		t.Errorf("DeltaExec = %v", g.DeltaExec)
+	}
+	if g.DeltaCPU != 0 {
+		t.Errorf("DeltaCPU = %v, want 0", g.DeltaCPU)
+	}
+	if g.DeltaQueue != 10*time.Second {
+		t.Errorf("DeltaQueue = %v", g.DeltaQueue)
+	}
+	if err := g.ConsistentWithIdentity(time.Millisecond); err != nil {
+		t.Error(err)
+	}
+	if !g.ConditionHolds() {
+		t.Error("gain condition should hold when queuing shrank")
+	}
+	if g.Predicted() != 10*time.Second {
+		t.Errorf("Predicted = %v", g.Predicted())
+	}
+	if g.PredictionError() != 0 {
+		t.Errorf("PredictionError = %v, want 0", g.PredictionError())
+	}
+}
+
+func TestCompareRejectsMismatch(t *testing.T) {
+	a := result(t, "A", time.Second, 2*time.Second)
+	b := result(t, "B", time.Second, 2*time.Second)
+	if _, err := Compare(a, b, nil); err == nil {
+		t.Error("different traces should be rejected")
+	}
+	if _, err := Compare(nil, b, nil); err == nil {
+		t.Error("nil result should be rejected")
+	}
+}
+
+func TestConditionFailsWhenQueueGrew(t *testing.T) {
+	base := result(t, "T", 10*time.Second, 30*time.Second)
+	vr := result(t, "T", 10*time.Second, 40*time.Second)
+	g, err := Compare(base, vr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ConditionHolds() {
+		t.Error("condition should fail when queuing grew")
+	}
+}
+
+// Property: the reserved-queue bound is always nonnegative and monotone in
+// added records.
+func TestBoundMonotoneProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		var recs []core.ReservationRecord
+		prev := time.Duration(0)
+		for i := 0; i+1 < len(offsets); i += 2 {
+			arrive := time.Duration(offsets[i]) * time.Second
+			complete := arrive + time.Duration(offsets[i+1])*time.Second
+			recs = append(recs, core.ReservationRecord{
+				Arrivals:    []time.Duration{arrive, arrive + time.Second},
+				Completions: []time.Duration{complete, complete + time.Second},
+			})
+			b := ReservedQueueBound(recs)
+			if b < prev {
+				return false
+			}
+			prev = b
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,557 @@
+// Package cluster assembles workstations, the interconnect, the load
+// information board, and a scheduling policy into a runnable simulated
+// cluster, and drives trace executions on the discrete-event engine.
+//
+// The cluster owns the mechanics that every policy shares: job arrival and
+// admission, the pending queue of blocked submissions, remote submission
+// latency, migration transfers (including destinations that fill up while
+// a job is in flight), periodic load-information refresh, and metric
+// sampling. Policies decide *where* work goes; the cluster makes it happen.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vrcluster/internal/job"
+	"vrcluster/internal/loadinfo"
+	"vrcluster/internal/metrics"
+	"vrcluster/internal/netlink"
+	"vrcluster/internal/network"
+	"vrcluster/internal/node"
+	"vrcluster/internal/record"
+	"vrcluster/internal/sim"
+	"vrcluster/internal/trace"
+)
+
+// Scheduler is the inter-workstation policy plugged into a cluster.
+type Scheduler interface {
+	// Name identifies the policy in results (e.g. "G-Loadsharing").
+	Name() string
+
+	// Place chooses a workstation for a newly submitted (or retried)
+	// job given the current load board. It returns the target node ID
+	// and whether the placement is remote (incurring the network
+	// submission cost r). ok=false blocks the submission; the cluster
+	// queues the job and retries every control period.
+	Place(c *Cluster, j *job.Job, home int) (target int, remote bool, ok bool)
+
+	// OnControl runs once per control period, immediately after the
+	// load board refresh and before blocked submissions are retried.
+	// Pressure-driven migration and virtual reconfiguration live here.
+	OnControl(c *Cluster, now time.Duration)
+
+	// OnJobDone notifies the policy that a job completed on a node.
+	OnJobDone(c *Cluster, n *node.Node, j *job.Job)
+}
+
+// Config describes a cluster and its simulation parameters.
+type Config struct {
+	Nodes   []node.Config
+	Network network.Model
+
+	// Quantum is the CPU scheduling quantum; ControlPeriod is the load
+	// information exchange (and policy decision) period; SampleInterval
+	// is the metric sampling period.
+	Quantum        time.Duration
+	ControlPeriod  time.Duration
+	SampleInterval time.Duration
+
+	// MaxVirtualTime aborts runs that fail to complete (safety net).
+	MaxVirtualTime time.Duration
+
+	// SharedNetwork makes migration transfers contend for the Ethernet
+	// segment (fair sharing) instead of each enjoying a dedicated link.
+	SharedNetwork bool
+
+	// RecordInterval, when positive, turns on the kernel-style tracing
+	// facility: every job's activities are recorded at this granularity
+	// (the paper records every 10 ms) and exposed via Recording after
+	// the run.
+	RecordInterval time.Duration
+
+	Seed int64
+}
+
+// Defaults for unset config fields.
+const (
+	DefaultQuantum        = 10 * time.Millisecond
+	DefaultControlPeriod  = time.Second
+	DefaultMaxVirtualTime = 1000 * time.Hour
+)
+
+// Validate fills defaults and rejects inconsistent configurations.
+func (c *Config) Validate() error {
+	if len(c.Nodes) == 0 {
+		return errors.New("cluster: no nodes configured")
+	}
+	if c.Network == (network.Model{}) {
+		c.Network = network.Default
+	}
+	if err := c.Network.Validate(); err != nil {
+		return err
+	}
+	if c.Quantum == 0 {
+		c.Quantum = DefaultQuantum
+	}
+	if c.Quantum <= 0 {
+		return fmt.Errorf("cluster: quantum %v must be positive", c.Quantum)
+	}
+	if c.ControlPeriod == 0 {
+		c.ControlPeriod = DefaultControlPeriod
+	}
+	if c.ControlPeriod < c.Quantum {
+		return fmt.Errorf("cluster: control period %v below quantum %v", c.ControlPeriod, c.Quantum)
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = metrics.DefaultSampleInterval
+	}
+	if c.SampleInterval <= 0 {
+		return fmt.Errorf("cluster: sample interval %v must be positive", c.SampleInterval)
+	}
+	if c.MaxVirtualTime == 0 {
+		c.MaxVirtualTime = DefaultMaxVirtualTime
+	}
+	if c.MaxVirtualTime <= 0 {
+		return fmt.Errorf("cluster: max virtual time %v must be positive", c.MaxVirtualTime)
+	}
+	return nil
+}
+
+// pendingSubmission is a job whose submission is blocked cluster-wide.
+type pendingSubmission struct {
+	j    *job.Job
+	home int
+}
+
+// strandedMigration is a migrating job whose destination filled up while
+// it was in flight. With capacity holds (ExpectMigration) landings placed
+// by the cluster cannot fail, so this path is defensive: it catches
+// policies that attach jobs directly and any future placement race,
+// charging the frozen wait as queuing so the time decomposition survives.
+type strandedMigration struct {
+	j       *job.Job
+	dstID   int
+	cost    time.Duration // accumulated transfer cost, charged on landing
+	special bool
+	since   time.Duration // last moment accounted for (queue charge basis)
+}
+
+// Cluster is a runnable simulated cluster.
+type Cluster struct {
+	cfg    Config
+	engine *sim.Engine
+	nodes  []*node.Node
+	board  *loadinfo.Board
+	net    network.Model
+	link   *netlink.Link // non-nil when SharedNetwork is enabled
+	sched  Scheduler
+	col    *metrics.Collector
+
+	pending     []pendingSubmission
+	stranded    []strandedMigration
+	outstanding int
+	timedOut    bool
+	recorder    *record.Recorder
+	ranJobs     []*job.Job
+}
+
+// New assembles a cluster around a scheduling policy.
+func New(cfg Config, sched Scheduler) (*Cluster, error) {
+	if sched == nil {
+		return nil, errors.New("cluster: nil scheduler")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := make([]*node.Node, len(cfg.Nodes))
+	for i, nc := range cfg.Nodes {
+		nc.ID = i
+		n, err := node.New(nc)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = n
+	}
+	board, err := loadinfo.NewBoard(len(nodes), cfg.ControlPeriod)
+	if err != nil {
+		return nil, err
+	}
+	col, err := metrics.NewCollector(cfg.SampleInterval)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		engine: sim.NewEngine(cfg.Seed),
+		nodes:  nodes,
+		board:  board,
+		net:    cfg.Network,
+		sched:  sched,
+		col:    col,
+	}
+	if cfg.SharedNetwork {
+		link, err := netlink.New(c.engine, cfg.Network.BandwidthMbps)
+		if err != nil {
+			return nil, err
+		}
+		c.link = link
+	}
+	return c, nil
+}
+
+// Engine exposes the discrete-event engine (for policies that schedule
+// their own callbacks and for tests).
+func (c *Cluster) Engine() *sim.Engine { return c.engine }
+
+// Nodes returns the live node list. Callers must not mutate the slice.
+func (c *Cluster) Nodes() []*node.Node { return c.nodes }
+
+// Node returns one workstation by ID.
+func (c *Cluster) Node(id int) (*node.Node, error) {
+	if id < 0 || id >= len(c.nodes) {
+		return nil, fmt.Errorf("cluster: node %d out of range", id)
+	}
+	return c.nodes[id], nil
+}
+
+// Board exposes the load information board.
+func (c *Cluster) Board() *loadinfo.Board { return c.board }
+
+// Collector exposes the metrics collector (policies bump its counters).
+func (c *Cluster) Collector() *metrics.Collector { return c.col }
+
+// Network reports the interconnect model.
+func (c *Cluster) Network() network.Model { return c.net }
+
+// PendingCount reports blocked submissions waiting for a destination.
+func (c *Cluster) PendingCount() int { return len(c.pending) }
+
+// Outstanding reports jobs not yet completed.
+func (c *Cluster) Outstanding() int { return c.outstanding }
+
+// RanJobs returns the jobs of the last Run in submission order (all
+// completed when Run returned without error), for per-job analysis.
+func (c *Cluster) RanJobs() []*job.Job {
+	out := make([]*job.Job, len(c.ranJobs))
+	copy(out, c.ranJobs)
+	return out
+}
+
+// Recording returns the activity log captured during Run when
+// RecordInterval was set, or nil.
+func (c *Cluster) Recording() *record.Log {
+	if c.recorder == nil {
+		return nil
+	}
+	return c.recorder.Log()
+}
+
+// Run executes a trace to completion and summarizes it. The trace must be
+// sized for this cluster.
+func (c *Cluster) Run(tr *trace.Trace) (*metrics.Result, error) {
+	if tr.Nodes != len(c.nodes) {
+		return nil, fmt.Errorf("cluster: trace for %d nodes, cluster has %d", tr.Nodes, len(c.nodes))
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	jobs, err := tr.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	c.outstanding = len(jobs)
+	c.ranJobs = jobs
+
+	// Arrivals.
+	for i, j := range jobs {
+		j, home := j, tr.Items[i].Home
+		if _, err := c.engine.Schedule(j.SubmitAt, func() { c.submit(j, home) }); err != nil {
+			return nil, err
+		}
+	}
+
+	// Initial board state so early placements see real capacity.
+	if err := c.board.Refresh(0, c.nodes); err != nil {
+		return nil, err
+	}
+
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+			c.engine.Stop()
+		}
+	}
+
+	quantumTicker, err := sim.NewTicker(c.engine, c.cfg.Quantum, func() {
+		if err := c.quantumTick(); err != nil {
+			fail(err)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer quantumTicker.Stop()
+
+	controlTicker, err := sim.NewTicker(c.engine, c.cfg.ControlPeriod, func() {
+		if err := c.controlTick(); err != nil {
+			fail(err)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer controlTicker.Stop()
+
+	sampleTicker, err := sim.NewTicker(c.engine, c.cfg.SampleInterval, func() {
+		c.col.Observe(c.engine.Now(), c.nodes, len(c.pending))
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sampleTicker.Stop()
+
+	if c.cfg.RecordInterval > 0 {
+		homes := make(map[int]int, len(jobs))
+		for i, j := range jobs {
+			homes[j.ID] = tr.Items[i].Home
+		}
+		rec, err := record.NewRecorder(tr.Name, c.cfg.RecordInterval, len(c.nodes), jobs, homes)
+		if err != nil {
+			return nil, err
+		}
+		c.recorder = rec
+		recordTicker, err := sim.NewTicker(c.engine, c.cfg.RecordInterval, func() {
+			rec.Observe(c.engine.Now())
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer recordTicker.Stop()
+	}
+
+	if _, err := c.engine.Schedule(c.cfg.MaxVirtualTime, func() {
+		c.timedOut = true
+		c.engine.Stop()
+	}); err != nil {
+		return nil, err
+	}
+
+	c.engine.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if c.timedOut {
+		return nil, fmt.Errorf("cluster: %s/%s timed out at %v with %d jobs outstanding",
+			tr.Name, c.sched.Name(), c.cfg.MaxVirtualTime, c.outstanding)
+	}
+	return metrics.BuildResult(tr.Name, c.sched.Name(), jobs, c.col)
+}
+
+// submit routes one arriving (or retried) job through the policy.
+func (c *Cluster) submit(j *job.Job, home int) {
+	target, remote, ok := c.sched.Place(c, j, home)
+	if !ok {
+		c.pending = append(c.pending, pendingSubmission{j: j, home: home})
+		return
+	}
+	c.place(j, home, target, remote)
+}
+
+func (c *Cluster) place(j *job.Job, home, target int, remote bool) {
+	if target < 0 || target >= len(c.nodes) {
+		c.pending = append(c.pending, pendingSubmission{j: j, home: home})
+		return
+	}
+	// Debit the snapshot so same-period decisions spread out.
+	_ = c.board.NotePlacement(target, j.MemoryDemandMB())
+	if !remote {
+		if err := c.nodes[target].Admit(j, c.engine.Now()); err != nil {
+			c.pending = append(c.pending, pendingSubmission{j: j, home: home})
+		}
+		return
+	}
+	c.col.RemoteSubmissions++
+	r := c.net.SubmissionCost()
+	c.engine.After(r, func() {
+		n := c.nodes[target]
+		if !n.HasSlot() || n.Reserved() {
+			// The slot vanished while the submission was in
+			// flight; requeue.
+			c.pending = append(c.pending, pendingSubmission{j: j, home: home})
+			return
+		}
+		if err := n.Admit(j, c.engine.Now()); err != nil {
+			c.pending = append(c.pending, pendingSubmission{j: j, home: home})
+			return
+		}
+		// Attribute the remote latency r to migration overhead, not
+		// queuing (see job.ReclassifyQueue). The admission wait so
+		// far is at least r by construction.
+		_ = j.ReclassifyQueue(r)
+	})
+}
+
+// Migrate starts a preemptive migration of a running job to dstID,
+// transferring its current memory image. special marks reservation
+// service: the destination admits it even while reserved.
+func (c *Cluster) Migrate(j *job.Job, dstID int, special bool) error {
+	if j.State() != job.StateRunning {
+		return fmt.Errorf("cluster: migrate job %d in state %v", j.ID, j.State())
+	}
+	srcID := j.Node()
+	src, err := c.Node(srcID)
+	if err != nil {
+		return err
+	}
+	dst, err := c.Node(dstID)
+	if err != nil {
+		return err
+	}
+	if dstID == srcID {
+		return fmt.Errorf("cluster: job %d migration to its own node %d", j.ID, srcID)
+	}
+	demand := j.MemoryDemandMB()
+	// Hold destination capacity for the duration of the transfer, so the
+	// target cannot fill up while the memory image is on the wire.
+	if err := dst.ExpectMigration(j.ID, demand); err != nil {
+		return err
+	}
+	if err := src.Detach(j, c.engine.Now()); err != nil {
+		_ = dst.CancelExpected(j.ID)
+		return err
+	}
+	c.col.Migrations++
+	if special {
+		c.col.ReservedMigration++
+	}
+	_ = c.board.NotePlacement(dstID, demand)
+	c.startTransfer(j, dstID, demand, 0, special)
+	return nil
+}
+
+// startTransfer ships a frozen job's memory image to dstID, landing it
+// when the transfer completes. priorCost accumulates transfer time from
+// earlier legs (retargeted strandings). On a shared network the transfer
+// contends with other in-flight migrations.
+func (c *Cluster) startTransfer(j *job.Job, dstID int, demandMB float64, priorCost time.Duration, special bool) {
+	r := c.net.SubmissionCost()
+	if c.link == nil {
+		cost := priorCost + c.net.MigrationCost(demandMB)
+		c.engine.After(c.net.MigrationCost(demandMB), func() {
+			c.landMigration(j, dstID, cost, special)
+		})
+		return
+	}
+	// Fixed remote-execution setup cost first, then the contended wire.
+	c.engine.After(r, func() {
+		err := c.link.Start(demandMB, func(elapsed time.Duration) {
+			c.landMigration(j, dstID, priorCost+r+elapsed, special)
+		})
+		if err != nil {
+			// Unreachable by construction; strand the job so it is
+			// retried rather than lost.
+			c.col.FailedLandings++
+			c.stranded = append(c.stranded, strandedMigration{
+				j: j, dstID: dstID, cost: priorCost + r, special: special, since: c.engine.Now(),
+			})
+		}
+	})
+}
+
+func (c *Cluster) landMigration(j *job.Job, dstID int, cost time.Duration, special bool) {
+	dst := c.nodes[dstID]
+	if err := dst.AttachMigrated(j, cost, special, c.engine.Now()); err == nil {
+		return
+	}
+	c.col.FailedLandings++
+	c.stranded = append(c.stranded, strandedMigration{
+		j: j, dstID: dstID, cost: cost, special: special, since: c.engine.Now(),
+	})
+}
+
+// quantumTick advances every workstation by one scheduling quantum.
+func (c *Cluster) quantumTick() error {
+	now := c.engine.Now()
+	for _, n := range c.nodes {
+		done, err := n.Tick(c.cfg.Quantum, now)
+		if err != nil {
+			return err
+		}
+		for _, j := range done {
+			c.outstanding--
+			c.sched.OnJobDone(c, n, j)
+		}
+	}
+	if c.outstanding == 0 {
+		c.engine.Stop()
+	}
+	return nil
+}
+
+// controlTick refreshes the load board, lets the policy act, then retries
+// stranded migrations and blocked submissions against the updated state.
+func (c *Cluster) controlTick() error {
+	now := c.engine.Now()
+	if err := c.board.Refresh(now, c.nodes); err != nil {
+		return err
+	}
+	c.sched.OnControl(c, now)
+	c.retryStranded(now)
+	c.retryPending()
+	if len(c.pending) > c.col.PendingPeak {
+		c.col.PendingPeak = len(c.pending)
+	}
+	return nil
+}
+
+func (c *Cluster) retryStranded(now time.Duration) {
+	if len(c.stranded) == 0 {
+		return
+	}
+	remaining := c.stranded[:0]
+	for _, s := range c.stranded {
+		// Time waited since the last accounted moment is queuing.
+		if now > s.since {
+			_ = s.j.AddFrozenQueue(now - s.since)
+			s.since = now
+		}
+		dst := c.nodes[s.dstID]
+		if dst.HasSlot() && (s.special || !dst.Reserved()) {
+			if err := dst.AttachMigrated(s.j, s.cost, s.special, now); err == nil {
+				continue
+			}
+		}
+		// Retarget: a fresh transfer to a new qualified node, holding
+		// its capacity for the flight.
+		demand := s.j.MemoryDemandMB()
+		if id, ok := c.board.BestDestination(demand, map[int]bool{s.dstID: true}); ok {
+			if err := c.nodes[id].ExpectMigration(s.j.ID, demand); err == nil {
+				_ = c.board.NotePlacement(id, demand)
+				c.startTransfer(s.j, id, demand, s.cost, s.special)
+				continue
+			}
+		}
+		remaining = append(remaining, s)
+	}
+	c.stranded = remaining
+}
+
+func (c *Cluster) retryPending() {
+	if len(c.pending) == 0 {
+		return
+	}
+	queue := c.pending
+	c.pending = nil
+	for i, p := range queue {
+		target, remote, ok := c.sched.Place(c, p.j, p.home)
+		if !ok {
+			// Preserve FIFO order for everything still blocked.
+			c.pending = append(c.pending, queue[i])
+			continue
+		}
+		c.place(p.j, p.home, target, remote)
+	}
+}

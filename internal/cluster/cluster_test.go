@@ -1,0 +1,427 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"vrcluster/internal/cluster"
+	"vrcluster/internal/memory"
+	"vrcluster/internal/network"
+	"vrcluster/internal/node"
+	"vrcluster/internal/policy"
+	"vrcluster/internal/trace"
+	"vrcluster/internal/workload"
+)
+
+// smallCluster builds an n-node test cluster with the given per-node
+// memory and slot count.
+func smallCluster(n int, memMB float64, slots int) cluster.Config {
+	cfg := cluster.Homogeneous(n, node.Config{
+		CPUSpeedMHz:  400,
+		CPUThreshold: slots,
+		Memory:       memory.Config{CapacityMB: memMB, UserFraction: 1},
+	})
+	cfg.Quantum = 10 * time.Millisecond
+	cfg.MaxVirtualTime = 2 * time.Hour
+	return cfg
+}
+
+// item builds a trace item. All test jobs use the t-sim program's phase
+// shape scaled to the given working set.
+func item(submit time.Duration, cpu time.Duration, wsMB float64, home int) trace.Item {
+	return trace.Item{
+		SubmitMillis: submit.Milliseconds(),
+		Program:      "t-sim",
+		CPUMillis:    cpu.Milliseconds(),
+		WorkingSetMB: wsMB,
+		Home:         home,
+	}
+}
+
+func testTrace(nodes int, items ...trace.Item) *trace.Trace {
+	var maxSubmit int64
+	for _, it := range items {
+		if it.SubmitMillis > maxSubmit {
+			maxSubmit = it.SubmitMillis
+		}
+	}
+	return &trace.Trace{
+		Name:           "test",
+		Group:          workload.Group2,
+		DurationMillis: maxSubmit + 1000,
+		Nodes:          nodes,
+		Items:          items,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := cluster.New(cluster.Config{}, policy.NoSharing{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	cfg := smallCluster(2, 100, 4)
+	if _, err := cluster.New(cfg, nil); err == nil {
+		t.Error("nil scheduler should fail")
+	}
+	bad := cfg
+	bad.Quantum = 2 * time.Second // above control period
+	if _, err := cluster.New(bad, policy.NoSharing{}); err == nil {
+		t.Error("quantum above control period should fail")
+	}
+	c, err := cluster.New(cfg, policy.NoSharing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Network() != network.Default {
+		t.Error("network default not applied")
+	}
+	if len(c.Nodes()) != 2 {
+		t.Errorf("nodes = %d", len(c.Nodes()))
+	}
+	if _, err := c.Node(5); err == nil {
+		t.Error("out-of-range node should fail")
+	}
+}
+
+func TestSingleJobRuns(t *testing.T) {
+	c, err := cluster.New(smallCluster(2, 100, 4), policy.NewGLoadSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(2, item(time.Second, 5*time.Second, 20, 0))
+	res, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 1 {
+		t.Fatalf("jobs = %d", res.Jobs)
+	}
+	if res.MeanSlowdown < 1 || res.MeanSlowdown > 1.1 {
+		t.Errorf("solo slowdown = %v, want ~1", res.MeanSlowdown)
+	}
+	if res.TotalExec != res.TotalCPU+res.TotalPage+res.TotalQueue+res.TotalMig {
+		t.Error("Section 5 identity violated")
+	}
+	if res.Makespan < 6*time.Second || res.Makespan > 7*time.Second {
+		t.Errorf("makespan = %v, want ~6s", res.Makespan)
+	}
+}
+
+func TestTraceClusterSizeMismatch(t *testing.T) {
+	c, err := cluster.New(smallCluster(2, 100, 4), policy.NoSharing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(3, item(0, time.Second, 1, 0))
+	if _, err := c.Run(tr); err == nil {
+		t.Error("node-count mismatch should fail")
+	}
+}
+
+func TestSlotSaturationQueues(t *testing.T) {
+	// 1 node, 1 slot, 3 jobs: they must serialize through the pending
+	// queue and all complete.
+	c, err := cluster.New(smallCluster(1, 1000, 1), policy.NewGLoadSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(1,
+		item(0, 5*time.Second, 10, 0),
+		item(0, 5*time.Second, 10, 0),
+		item(0, 5*time.Second, 10, 0),
+	)
+	res, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 3 {
+		t.Fatalf("jobs = %d", res.Jobs)
+	}
+	// Serialized: last job waits ~10s, so mean slowdown ~2.
+	if res.MeanSlowdown < 1.5 {
+		t.Errorf("mean slowdown = %v, expected serialization penalty", res.MeanSlowdown)
+	}
+	if res.TotalQueue == 0 {
+		t.Error("queuing time should be nonzero under saturation")
+	}
+	if res.PendingPeak < 1 {
+		t.Errorf("pending peak = %d, want >= 1", res.PendingPeak)
+	}
+}
+
+func TestRemoteSubmissionWhenHomeFull(t *testing.T) {
+	// Home node 0 has its only slot taken; the second job must be
+	// remotely submitted to node 1.
+	c, err := cluster.New(smallCluster(2, 1000, 1), policy.NewGLoadSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(2,
+		item(0, 10*time.Second, 10, 0),
+		item(2*time.Second, 10*time.Second, 10, 0),
+	)
+	res, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteSubmissions != 1 {
+		t.Errorf("remote submissions = %d, want 1", res.RemoteSubmissions)
+	}
+	// The remote job carries the submission cost r as migration-bucket
+	// overhead.
+	if res.TotalMig < network.Default.SubmissionCost() {
+		t.Errorf("total migration overhead = %v, want >= r", res.TotalMig)
+	}
+	// Both ran concurrently on separate nodes: low slowdowns.
+	if res.MeanSlowdown > 1.3 {
+		t.Errorf("mean slowdown = %v, want near 1", res.MeanSlowdown)
+	}
+}
+
+func TestPressureMigration(t *testing.T) {
+	// Two jobs whose combined demand overcommits node 0 while node 1
+	// sits idle: G-Loadsharing must migrate one away.
+	c, err := cluster.New(smallCluster(2, 100, 4), policy.NewGLoadSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(2,
+		item(0, 30*time.Second, 70, 0),
+		item(0, 30*time.Second, 70, 0),
+	)
+	res, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations < 1 {
+		t.Errorf("migrations = %d, want >= 1", res.Migrations)
+	}
+	if res.BlockingEpisodes != 0 {
+		t.Errorf("blocking episodes = %d, want 0 (a destination existed)", res.BlockingEpisodes)
+	}
+}
+
+func TestNoSharingNeverMigrates(t *testing.T) {
+	c, err := cluster.New(smallCluster(2, 100, 4), policy.NoSharing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(2,
+		item(0, 10*time.Second, 70, 0),
+		item(0, 10*time.Second, 70, 0),
+	)
+	res, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 0 || res.RemoteSubmissions != 0 {
+		t.Errorf("no-sharing moved work: mig=%d remote=%d", res.Migrations, res.RemoteSubmissions)
+	}
+	// Both jobs thrash on node 0.
+	if res.TotalPage == 0 {
+		t.Error("expected paging under overcommit with no sharing")
+	}
+}
+
+func TestCPUSharingBalancesCounts(t *testing.T) {
+	c, err := cluster.New(smallCluster(2, 1000, 4), policy.CPUSharing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(2,
+		item(0, 10*time.Second, 10, 0),
+		item(0, 10*time.Second, 10, 0),
+	)
+	res, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second job goes to the other node: near-solo slowdowns.
+	if res.MeanSlowdown > 1.3 {
+		t.Errorf("mean slowdown = %v, want near 1", res.MeanSlowdown)
+	}
+	if res.RemoteSubmissions != 1 {
+		t.Errorf("remote submissions = %d, want 1", res.RemoteSubmissions)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *trace.Trace {
+		tr, err := trace.Generate(trace.Config{
+			Name: "det", Group: workload.Group2, Sigma: 2, Mu: 2,
+			Jobs: 30, Duration: 120 * time.Second, Nodes: 4, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	exec := func() time.Duration {
+		cfg := smallCluster(4, 128, 4)
+		cfg.MaxVirtualTime = 12 * time.Hour
+		c, err := cluster.New(cfg, policy.NewGLoadSharing())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(run())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalExec
+	}
+	if a, b := exec(), exec(); a != b {
+		t.Errorf("two identical runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	cfg := smallCluster(1, 100, 1)
+	cfg.MaxVirtualTime = 2 * time.Second
+	c, err := cluster.New(cfg, policy.NoSharing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(1, item(0, time.Hour, 10, 0))
+	if _, err := c.Run(tr); err == nil {
+		t.Error("hour-long job under 2s cap should time out")
+	}
+}
+
+func TestSuspensionBaseline(t *testing.T) {
+	// Three large jobs on a 2-node cluster with no escape: suspension
+	// must kick in and still complete everything.
+	s := policy.NewSuspension()
+	cfg := smallCluster(2, 100, 4)
+	cfg.MaxVirtualTime = 4 * time.Hour
+	c, err := cluster.New(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(2,
+		item(0, 20*time.Second, 80, 0),
+		item(0, 20*time.Second, 80, 1),
+		item(time.Second, 20*time.Second, 80, 0),
+	)
+	res, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 3 {
+		t.Fatalf("jobs = %d", res.Jobs)
+	}
+	if res.Suspensions == 0 {
+		t.Error("expected at least one suspension")
+	}
+	if s.SuspendedCount() != 0 {
+		t.Errorf("%d jobs left suspended at end", s.SuspendedCount())
+	}
+}
+
+func TestSharedNetworkContention(t *testing.T) {
+	// Two simultaneous migrations from two pressured nodes: on a shared
+	// Ethernet they contend and finish later than on dedicated links.
+	runWith := func(shared bool) time.Duration {
+		cfg := smallCluster(4, 100, 4)
+		cfg.SharedNetwork = shared
+		cfg.MaxVirtualTime = 4 * time.Hour
+		c, err := cluster.New(cfg, policy.NewGLoadSharing())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := testTrace(4,
+			item(0, 60*time.Second, 70, 0),
+			item(0, 60*time.Second, 70, 0),
+			item(0, 60*time.Second, 70, 1),
+			item(0, 60*time.Second, 70, 1),
+		)
+		res, err := c.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Migrations == 0 {
+			t.Fatal("scenario should migrate")
+		}
+		if res.TotalExec != res.TotalCPU+res.TotalPage+res.TotalQueue+res.TotalMig {
+			t.Error("Section 5 identity violated under shared network")
+		}
+		return res.TotalMig
+	}
+	dedicated := runWith(false)
+	shared := runWith(true)
+	if shared < dedicated {
+		t.Errorf("shared-network migration time %v below dedicated %v", shared, dedicated)
+	}
+}
+
+func TestRecordingFacility(t *testing.T) {
+	cfg := smallCluster(2, 100, 4)
+	cfg.RecordInterval = 10 * time.Millisecond
+	c, err := cluster.New(cfg, policy.NewGLoadSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(2,
+		item(0, 2*time.Second, 20, 0),
+		item(time.Second, 2*time.Second, 20, 1),
+	)
+	res, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := c.Recording()
+	if log == nil {
+		t.Fatal("no recording captured")
+	}
+	if err := log.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Jobs) != 2 {
+		t.Fatalf("recorded %d jobs", len(log.Jobs))
+	}
+	// Recorded activity totals must match the jobs' reported breakdowns
+	// to within one record interval per job.
+	var recCPU time.Duration
+	for _, jt := range log.Jobs {
+		recCPU += jt.Totals().CPU
+		if len(jt.Activities) == 0 {
+			t.Errorf("job %d recorded no activity", jt.Header.JobID)
+		}
+	}
+	diff := res.TotalCPU - recCPU
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2*cfg.RecordInterval {
+		t.Errorf("recorded CPU %v vs measured %v", recCPU, res.TotalCPU)
+	}
+
+	// Closed loop: the derived trace replays to the same totals.
+	replay, err := trace.FromLog(log, workload.Group2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := cluster.New(smallCluster(2, 100, 4), policy.NewGLoadSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := c2.Run(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Jobs != res.Jobs || res2.TotalCPU != res.TotalCPU {
+		t.Errorf("replay diverged: jobs %d vs %d, cpu %v vs %v",
+			res2.Jobs, res.Jobs, res2.TotalCPU, res.TotalCPU)
+	}
+}
+
+func TestNoRecordingByDefault(t *testing.T) {
+	c, err := cluster.New(smallCluster(1, 100, 4), policy.NoSharing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(testTrace(1, item(0, time.Second, 10, 0))); err != nil {
+		t.Fatal(err)
+	}
+	if c.Recording() != nil {
+		t.Error("recording present without RecordInterval")
+	}
+}

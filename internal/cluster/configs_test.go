@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"testing"
+
+	"vrcluster/internal/node"
+)
+
+func TestCluster1MatchesPaperSetup(t *testing.T) {
+	cfg := Cluster1()
+	if len(cfg.Nodes) != 32 {
+		t.Fatalf("cluster 1 has %d nodes, want 32", len(cfg.Nodes))
+	}
+	for i, nc := range cfg.Nodes {
+		if nc.CPUSpeedMHz != 400 {
+			t.Errorf("node %d speed %v, want 400 MHz", i, nc.CPUSpeedMHz)
+		}
+		if nc.Memory.CapacityMB != 384 {
+			t.Errorf("node %d memory %v, want 384 MB", i, nc.Memory.CapacityMB)
+		}
+		if nc.CPUThreshold != DefaultCPUThreshold {
+			t.Errorf("node %d threshold %d", i, nc.CPUThreshold)
+		}
+	}
+}
+
+func TestCluster2MatchesPaperSetup(t *testing.T) {
+	cfg := Cluster2()
+	if len(cfg.Nodes) != 32 {
+		t.Fatalf("cluster 2 has %d nodes, want 32", len(cfg.Nodes))
+	}
+	for i, nc := range cfg.Nodes {
+		if nc.CPUSpeedMHz != 233 {
+			t.Errorf("node %d speed %v, want 233 MHz", i, nc.CPUSpeedMHz)
+		}
+		if nc.Memory.CapacityMB != 128 {
+			t.Errorf("node %d memory %v, want 128 MB", i, nc.Memory.CapacityMB)
+		}
+	}
+}
+
+func TestHomogeneousAssignsIDs(t *testing.T) {
+	cfg := Homogeneous(5, node.Config{CPUSpeedMHz: 100, CPUThreshold: 1})
+	if len(cfg.Nodes) != 5 {
+		t.Fatalf("nodes = %d", len(cfg.Nodes))
+	}
+	for i, nc := range cfg.Nodes {
+		if nc.ID != i {
+			t.Errorf("node %d has ID %d", i, nc.ID)
+		}
+	}
+}
+
+func TestHeterogeneousCyclesPrototypes(t *testing.T) {
+	big := node.Config{CPUSpeedMHz: 500, CPUThreshold: 4}
+	small := node.Config{CPUSpeedMHz: 200, CPUThreshold: 4}
+	cfg := Heterogeneous(6, []node.Config{big, small}, 400)
+	for i, nc := range cfg.Nodes {
+		want := big
+		if i%2 == 1 {
+			want = small
+		}
+		if nc.CPUSpeedMHz != want.CPUSpeedMHz {
+			t.Errorf("node %d speed %v, want %v", i, nc.CPUSpeedMHz, want.CPUSpeedMHz)
+		}
+		if nc.RefSpeedMHz != 400 {
+			t.Errorf("node %d ref speed %v, want 400", i, nc.RefSpeedMHz)
+		}
+		if nc.ID != i {
+			t.Errorf("node %d has ID %d", i, nc.ID)
+		}
+	}
+}

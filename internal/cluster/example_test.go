@@ -1,0 +1,57 @@
+package cluster_test
+
+import (
+	"fmt"
+	"time"
+
+	"vrcluster/internal/cluster"
+	"vrcluster/internal/core"
+	"vrcluster/internal/memory"
+	"vrcluster/internal/node"
+	"vrcluster/internal/trace"
+	"vrcluster/internal/workload"
+)
+
+// Example runs a tiny deterministic workload under dynamic load sharing
+// with virtual reconfiguration and prints the completion summary.
+func Example() {
+	cfg := cluster.Homogeneous(4, node.Config{
+		CPUSpeedMHz:  233,
+		CPUThreshold: 4,
+		Memory:       memory.Config{CapacityMB: 128},
+	})
+	cfg.Quantum = 10 * time.Millisecond
+
+	sched, err := core.NewVReconfiguration(core.Options{Rule: core.RuleFullDrain})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	c, err := cluster.New(cfg, sched)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	tr := &trace.Trace{
+		Name:           "example",
+		Group:          workload.Group2,
+		DurationMillis: 1000,
+		Nodes:          4,
+		Items: []trace.Item{
+			{Program: "m-m", CPUMillis: 5000, WorkingSetMB: 25, Home: 0},
+			{Program: "bit-r", CPUMillis: 5000, WorkingSetMB: 24, Home: 1},
+		},
+	}
+	res, err := c.Run(tr)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d jobs done under %s\n", res.Jobs, res.Policy)
+	fmt.Printf("identity holds: %v\n",
+		res.TotalExec == res.TotalCPU+res.TotalPage+res.TotalQueue+res.TotalMig)
+	// Output:
+	// 2 jobs done under V-Reconfiguration
+	// identity holds: true
+}

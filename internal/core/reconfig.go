@@ -1,0 +1,536 @@
+// Package core implements the paper's contribution: adaptive and virtual
+// cluster reconfiguration for dynamic job scheduling. When the job
+// blocking problem is detected — a workstation's page faults exceed its
+// memory threshold but no qualified migration destination exists — and the
+// accumulated idle memory in the cluster exceeds the average user memory
+// of one workstation, the reconfiguration routine reserves the most
+// lightly loaded workstation, blocks submissions and migrations to it
+// until its running jobs complete (the reserving period), and then
+// migrates the most memory-intensive page-faulting job to it. As soon as
+// the blocking problem is resolved, the system adaptively switches back to
+// normal load sharing, mirroring the framework pseudocode of Section 2.1:
+//
+//	if (exists reservation_flag(reserved_ID) == 1) &&
+//	   (the workstation has enough available resources)
+//	        node_ID = reserved_ID
+//	else
+//	        node_ID = reserve_a_workstation()
+//	        reservation_flag(node_ID) = 1
+//	job_ID = find_most_memory_intensive_job()
+//	migrate_job(job_ID, node_ID)
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"vrcluster/internal/cluster"
+	"vrcluster/internal/job"
+	"vrcluster/internal/node"
+	"vrcluster/internal/predict"
+)
+
+// Rule selects when a reserving period ends.
+type Rule int
+
+// Reserving-period end rules (Section 2.1).
+const (
+	// RuleFullDrain ends the reserving period when every job running on
+	// the reserved workstation has completed — the paper's primary
+	// definition.
+	RuleFullDrain Rule = iota + 1
+	// RuleEarlyFit ends the reserving period "as soon as the available
+	// memory space in the reserved workstation is sufficiently large
+	// for a job migration with large memory demand" — the paper's
+	// stated alternative.
+	RuleEarlyFit
+)
+
+// String names the rule for reports.
+func (r Rule) String() string {
+	switch r {
+	case RuleFullDrain:
+		return "full-drain"
+	case RuleEarlyFit:
+		return "early-fit"
+	default:
+		return fmt.Sprintf("rule(%d)", int(r))
+	}
+}
+
+// Options tune the reconfiguration manager.
+type Options struct {
+	// Rule picks the reserving-period end condition.
+	Rule Rule
+	// MaxReserved caps simultaneous reservations, preserving fairness
+	// to normal jobs when large jobs are unusually common (the Section
+	// 2.2 concern: "if there are too many large jobs, the proposed
+	// method will reserve too many workstations so that normal jobs can
+	// not run").
+	MaxReserved int
+	// ReserveTimeout abandons a reserving period that fails to complete
+	// within the interval, implying the cluster is truly heavily loaded
+	// (Section 2.3: "if a workstation can not be reserved within a
+	// pre-determined time interval").
+	ReserveTimeout time.Duration
+
+	// LargeJobFraction defines which jobs qualify for reserved special
+	// service: demand must be at least this fraction of the mean user
+	// memory. The reconfiguration targets "jobs demanding large memory
+	// allocations", not every job a pressured node happens to hold.
+	LargeJobFraction float64
+
+	// MinAgeFactor requires a victim's runtime so far to be at least
+	// this multiple of its migration cost before a special migration is
+	// worthwhile. It encodes the paper's lifetime prediction: a job
+	// that has stayed long is predicted to stay longer [5], so paying a
+	// long transfer for it pays off.
+	MinAgeFactor float64
+
+	// MaxAssignedPerReservation caps the jobs served by one reserved
+	// workstation before it must complete its special service.
+	MaxAssignedPerReservation int
+
+	// NetworkRAM applies the network RAM technique ([12], pointed to in
+	// Section 2.3) on reserved workstations: while a workstation
+	// provides special service, its page faults are satisfied from
+	// remote idle memory over the interconnect instead of the local
+	// swap disk, so even a job bigger than the workstation's memory
+	// makes progress.
+	NetworkRAM bool
+}
+
+// Default option values.
+const (
+	DefaultMaxReserved               = 8
+	DefaultReserveTimeout            = 5 * time.Minute
+	DefaultLargeJobFraction          = 0.5
+	DefaultMinAgeFactor              = 0.5
+	DefaultMaxAssignedPerReservation = 2
+)
+
+type reservingState struct {
+	since    time.Duration
+	neededMB float64 // demand of the largest blocked job observed
+}
+
+type reservedState struct {
+	since    time.Duration
+	assigned []*job.Job      // jobs migrated in as special service
+	arrivals []time.Duration // when each assigned job was dispatched
+}
+
+// ReservationRecord describes one completed reservation, in assignment
+// order: when each special-service job was dispatched to the reserved
+// workstation and when it completed. It feeds the Section 5 analytical
+// model's reserved-queue bound sum_j (Q_r(k) - j) * w_kj.
+type ReservationRecord struct {
+	Node        int
+	Start, End  time.Duration
+	Arrivals    []time.Duration
+	Completions []time.Duration
+}
+
+// Stats counts the outcomes of reconfiguration attempts, explaining why
+// reservations did or did not start.
+type Stats struct {
+	BlockedEvents     int // OnBlocked invocations
+	IneligibleVictims int // victim too small or too young
+	RoutedToReserved  int // victim sent to an existing reserved node
+	IdleBelowMean     int // accumulated idle memory condition failed
+	CapReached        int // reservation cap prevented a new reserving period
+	NoCandidate       int // no unreserved workstation to reserve
+	Started           int // reserving periods started
+	Matured           int // reserving periods that completed their drain
+	ReleasedEarly     int // released because blocking disappeared
+	TimedOut          int // reserving periods abandoned at the timeout
+}
+
+// Manager is the reconfiguration routine's state: which workstations are
+// in a reserving period and which are providing reserved special service.
+type Manager struct {
+	opts      Options
+	reserving map[int]*reservingState
+	reserved  map[int]*reservedState
+	stats     Stats
+	records   []ReservationRecord
+}
+
+// NewManager builds a reconfiguration manager.
+func NewManager(opts Options) (*Manager, error) {
+	if opts.Rule == 0 {
+		opts.Rule = RuleFullDrain
+	}
+	if opts.Rule != RuleFullDrain && opts.Rule != RuleEarlyFit {
+		return nil, fmt.Errorf("core: unknown rule %d", opts.Rule)
+	}
+	if opts.MaxReserved == 0 {
+		opts.MaxReserved = DefaultMaxReserved
+	}
+	if opts.MaxReserved < 0 {
+		return nil, fmt.Errorf("core: max reserved %d must be positive", opts.MaxReserved)
+	}
+	if opts.ReserveTimeout == 0 {
+		opts.ReserveTimeout = DefaultReserveTimeout
+	}
+	if opts.ReserveTimeout < 0 {
+		return nil, fmt.Errorf("core: negative reserve timeout %v", opts.ReserveTimeout)
+	}
+	if opts.LargeJobFraction == 0 {
+		opts.LargeJobFraction = DefaultLargeJobFraction
+	}
+	if opts.LargeJobFraction < 0 || opts.LargeJobFraction > 1 {
+		return nil, fmt.Errorf("core: large-job fraction %v outside [0, 1]", opts.LargeJobFraction)
+	}
+	if opts.MinAgeFactor == 0 {
+		opts.MinAgeFactor = DefaultMinAgeFactor
+	}
+	if opts.MinAgeFactor < 0 {
+		return nil, fmt.Errorf("core: negative min age factor %v", opts.MinAgeFactor)
+	}
+	if opts.MaxAssignedPerReservation == 0 {
+		opts.MaxAssignedPerReservation = DefaultMaxAssignedPerReservation
+	}
+	if opts.MaxAssignedPerReservation < 0 {
+		return nil, fmt.Errorf("core: max assigned %d must be positive", opts.MaxAssignedPerReservation)
+	}
+	return &Manager{
+		opts:      opts,
+		reserving: make(map[int]*reservingState),
+		reserved:  make(map[int]*reservedState),
+	}, nil
+}
+
+// Options reports the manager's effective options.
+func (m *Manager) Options() Options { return m.opts }
+
+// ReservingCount reports workstations currently draining.
+func (m *Manager) ReservingCount() int { return len(m.reserving) }
+
+// ReservedCount reports workstations currently in special service.
+func (m *Manager) ReservedCount() int { return len(m.reserved) }
+
+// OnBlocked is the reconfiguration entry point, invoked when the blocking
+// problem is detected at a workstation. It first tries an existing
+// reserved workstation with enough available resources; otherwise it
+// starts a reserving period on a new workstation if the accumulated idle
+// memory condition holds.
+func (m *Manager) OnBlocked(c *cluster.Cluster, now time.Duration, src *node.Node, victim *job.Job) {
+	if victim == nil || victim.State() != job.StateRunning {
+		return
+	}
+	m.stats.BlockedEvents++
+	if !m.eligible(c, now, victim) {
+		m.stats.IneligibleVictims++
+		return
+	}
+	// Step 1 of the framework: an existing reserved workstation that can
+	// provide sufficient memory space and job slots.
+	if id, ok := m.reservedFit(c, victim); ok {
+		if rs := m.reserved[id]; rs != nil {
+			if err := c.Migrate(victim, id, true); err == nil {
+				rs.assigned = append(rs.assigned, victim)
+				rs.arrivals = append(rs.arrivals, now)
+				m.stats.RoutedToReserved++
+			}
+		}
+		return
+	}
+	// Reserving periods already underway will serve the largest blocked
+	// demand seen so far; remember it for the early-fit rule. A further
+	// reserving period may still start below ("the reconfiguration
+	// routine will start another reserving period"), bounded by the
+	// reservation cap.
+	for _, st := range m.reserving {
+		if d := victim.MemoryDemandMB(); d > st.neededMB {
+			st.neededMB = d
+		}
+	}
+	if len(m.reserving)+len(m.reserved) >= m.opts.MaxReserved {
+		m.stats.CapReached++
+		return
+	}
+	// Activation condition: the accumulated idle memory space in the
+	// cluster exceeds the average user memory space of one workstation.
+	// Below that, "the cluster memory resources have been sufficiently
+	// utilized" (Section 2.3) and reconfiguration cannot help.
+	board := c.Board()
+	if board.AccumulatedIdleMB(false) <= board.MeanUserMB() {
+		m.stats.IdleBelowMean++
+		return
+	}
+	id, ok := board.ReservationCandidate(nil)
+	if !ok {
+		m.stats.NoCandidate++
+		return
+	}
+	n, err := c.Node(id)
+	if err != nil || n.Reserved() {
+		return
+	}
+	n.SetReserved(true)
+	m.reserving[id] = &reservingState{since: now, neededMB: victim.MemoryDemandMB()}
+	m.stats.Started++
+	c.Collector().Reservations++
+}
+
+// Stats returns the manager's attempt counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// OnControl advances reserving periods: releases them when the blocking
+// problem has disappeared or the timeout expired, and promotes drained
+// workstations to reserved service, migrating the most memory-intensive
+// page-faulting job in.
+func (m *Manager) OnControl(c *cluster.Cluster, now time.Duration) {
+	if len(m.reserving) == 0 && len(m.reserved) == 0 {
+		return
+	}
+	blocked := m.blockingExists(c)
+	for id, st := range m.reserving {
+		n, err := c.Node(id)
+		if err != nil {
+			delete(m.reserving, id)
+			continue
+		}
+		if !blocked {
+			// The blocking problem disappeared during the
+			// reserving period; adaptively switch back.
+			m.stats.ReleasedEarly++
+			m.release(c, n, st.since, now)
+			delete(m.reserving, id)
+			continue
+		}
+		if now-st.since > m.opts.ReserveTimeout {
+			// The cluster is truly heavily loaded; give the
+			// workstation back.
+			m.stats.TimedOut++
+			m.release(c, n, st.since, now)
+			delete(m.reserving, id)
+			continue
+		}
+		if !m.drained(n, st) {
+			continue
+		}
+		m.stats.Matured++
+		// Reserving period complete: the blocking problem still
+		// exists, so serve the most memory-intensive faulting jobs,
+		// packing the reserved workstation as long as victims fit.
+		victims := m.packVictims(c, now, n)
+		if len(victims) == 0 {
+			m.release(c, n, st.since, now)
+			delete(m.reserving, id)
+			continue
+		}
+		delete(m.reserving, id)
+		arrivals := make([]time.Duration, len(victims))
+		for i := range arrivals {
+			arrivals[i] = now
+		}
+		m.reserved[id] = &reservedState{since: st.since, assigned: victims, arrivals: arrivals}
+		if m.opts.NetworkRAM {
+			n.Memory().SetRemoteBacking(c.Network().PageService(n.Memory().Config().PageKB))
+		}
+	}
+	// Release reserved workstations whose special service completed; the
+	// scheduler then views them as regular workstations again.
+	for id, rs := range m.reserved {
+		if !allDone(rs.assigned) {
+			continue
+		}
+		if n, err := c.Node(id); err == nil {
+			m.finishReserved(c, n, rs, now)
+		}
+		delete(m.reserved, id)
+	}
+}
+
+// OnJobDone lets reservations release promptly on the completion that
+// finishes their special service.
+func (m *Manager) OnJobDone(c *cluster.Cluster, n *node.Node, j *job.Job) {
+	rs, ok := m.reserved[n.ID()]
+	if !ok || !allDone(rs.assigned) {
+		return
+	}
+	done := rs.since
+	if d, err := j.DoneAt(); err == nil {
+		done = d
+	}
+	m.finishReserved(c, n, rs, done)
+	delete(m.reserved, n.ID())
+}
+
+// finishReserved records a completed special service and releases the node.
+func (m *Manager) finishReserved(c *cluster.Cluster, n *node.Node, rs *reservedState, now time.Duration) {
+	rec := ReservationRecord{
+		Node:        n.ID(),
+		Start:       rs.since,
+		End:         now,
+		Arrivals:    append([]time.Duration(nil), rs.arrivals...),
+		Completions: make([]time.Duration, 0, len(rs.assigned)),
+	}
+	for _, j := range rs.assigned {
+		if d, err := j.DoneAt(); err == nil {
+			rec.Completions = append(rec.Completions, d)
+		}
+	}
+	m.records = append(m.records, rec)
+	m.release(c, n, rs.since, now)
+}
+
+// Records returns the completed reservation histories, in release order.
+func (m *Manager) Records() []ReservationRecord {
+	out := make([]ReservationRecord, len(m.records))
+	copy(out, m.records)
+	return out
+}
+
+func (m *Manager) release(c *cluster.Cluster, n *node.Node, since, now time.Duration) {
+	n.SetReserved(false)
+	n.Memory().SetRemoteBacking(0)
+	if now > since {
+		c.Collector().ReservationTime += now - since
+	}
+}
+
+// drained reports whether the reserving period is over under the manager's
+// rule.
+func (m *Manager) drained(n *node.Node, st *reservingState) bool {
+	switch m.opts.Rule {
+	case RuleEarlyFit:
+		need := st.neededMB
+		user := n.Memory().UserMB()
+		if need > user {
+			// Oversized jobs get dedicated service: the paper
+			// provides "a reserved workstation for dedicated
+			// service, where its page faults will not affect
+			// performance of other jobs."
+			return n.NumJobs() == 0
+		}
+		return n.IdleMB() >= need
+	default: // RuleFullDrain
+		return n.NumJobs() == 0
+	}
+}
+
+// eligible reports whether a job qualifies for reserved special service:
+// it must be a large job (relative to the mean workstation user memory)
+// whose predicted remaining lifetime justifies the transfer cost. The
+// lifetime test applies the heavy-tailed process-lifetime model of the
+// paper's reference [5]: the job was "observed to demand a large memory
+// space, causing page faults for a period of time", so it "will be likely
+// to continue to stay and execute for a longer time". Under the default
+// alpha = 1 model, requiring the median remaining lifetime to cover
+// MinAgeFactor times the migration cost is exactly the age gate
+// age >= MinAgeFactor * cost.
+func (m *Manager) eligible(c *cluster.Cluster, now time.Duration, victim *job.Job) bool {
+	if victim.MemoryDemandMB() < m.opts.LargeJobFraction*c.Board().MeanUserMB() {
+		return false
+	}
+	cost := c.Network().MigrationCost(victim.MemoryDemandMB())
+	return predict.Default.WorthPaying(victim.Age(now), cost, m.opts.MinAgeFactor)
+}
+
+// reservedFit finds an existing reserved workstation able to provide
+// sufficient memory space and a job slot for the victim.
+func (m *Manager) reservedFit(c *cluster.Cluster, victim *job.Job) (int, bool) {
+	demand := victim.MemoryDemandMB()
+	bestID, found := -1, false
+	var bestIdle float64
+	for id, rs := range m.reserved {
+		if len(rs.assigned) >= m.opts.MaxAssignedPerReservation {
+			continue
+		}
+		n, err := c.Node(id)
+		if err != nil || !n.HasSlot() {
+			continue
+		}
+		idle := n.IdleMB()
+		fits := idle >= demand ||
+			// Dedicated service for a job bigger than any
+			// workstation: acceptable only on an empty node.
+			(demand > n.Memory().UserMB() && n.NumJobs() == 0)
+		if !fits {
+			continue
+		}
+		if !found || idle > bestIdle {
+			bestID, bestIdle, found = id, idle, true
+		}
+	}
+	return bestID, found
+}
+
+// packVictims migrates as many eligible victims into the matured reserved
+// workstation n as fit its idle memory and job slots, up to the
+// per-reservation cap, and returns them.
+func (m *Manager) packVictims(c *cluster.Cluster, now time.Duration, n *node.Node) []*job.Job {
+	var assigned []*job.Job
+	for len(assigned) < m.opts.MaxAssignedPerReservation && n.HasSlot() {
+		victim := m.clusterVictim(c, now)
+		if victim == nil {
+			break
+		}
+		demand := victim.MemoryDemandMB()
+		fits := n.IdleMB() >= demand ||
+			(demand > n.Memory().UserMB() && n.NumJobs() == 0 && len(assigned) == 0)
+		if !fits {
+			break
+		}
+		if err := c.Migrate(victim, n.ID(), true); err != nil {
+			break
+		}
+		assigned = append(assigned, victim)
+	}
+	return assigned
+}
+
+// clusterVictim picks the eligible job with the largest memory demand
+// among jobs on pressured, unreserved workstations.
+func (m *Manager) clusterVictim(c *cluster.Cluster, now time.Duration) *job.Job {
+	var best *job.Job
+	bestDemand := 0.0
+	for _, n := range c.Nodes() {
+		if n.Reserved() || !n.Pressured() {
+			continue
+		}
+		j := n.MostMemoryIntensiveJob()
+		if j == nil || !m.eligible(c, now, j) {
+			continue
+		}
+		if d := j.MemoryDemandMB(); d > bestDemand {
+			best, bestDemand = j, d
+		}
+	}
+	return best
+}
+
+// blockingExists reports whether the blocking problem persists: some
+// pressured workstation cannot place its most memory-intensive job
+// anywhere, or submissions are waiting with nowhere to go.
+func (m *Manager) blockingExists(c *cluster.Cluster) bool {
+	if c.PendingCount() > 0 {
+		return true
+	}
+	board := c.Board()
+	for _, n := range c.Nodes() {
+		if n.Reserved() || !n.Pressured() {
+			continue
+		}
+		victim := n.MostMemoryIntensiveJob()
+		if victim == nil {
+			continue
+		}
+		if _, ok := board.BestDestination(victim.MemoryDemandMB(), map[int]bool{n.ID(): true}); !ok {
+			return true
+		}
+	}
+	return false
+}
+
+func allDone(jobs []*job.Job) bool {
+	for _, j := range jobs {
+		if j.State() != job.StateDone {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,446 @@
+package core_test
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"vrcluster/internal/cluster"
+	"vrcluster/internal/core"
+
+	"vrcluster/internal/memory"
+	"vrcluster/internal/node"
+	"vrcluster/internal/policy"
+	"vrcluster/internal/sim"
+	"vrcluster/internal/trace"
+	"vrcluster/internal/workload"
+)
+
+func smallCluster(t *testing.T, nodes int, sched cluster.Scheduler) *cluster.Cluster {
+	t.Helper()
+	cfg := cluster.Homogeneous(nodes, node.Config{
+		CPUSpeedMHz:  233,
+		CPUThreshold: 4,
+		Memory:       memory.Config{CapacityMB: 128, UserFraction: 1},
+	})
+	cfg.Quantum = 10 * time.Millisecond
+	cfg.MaxVirtualTime = 4 * time.Hour
+	c, err := cluster.New(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func item(at time.Duration, program string, cpu time.Duration, ws float64, home int) trace.Item {
+	return trace.Item{
+		SubmitMillis: at.Milliseconds(),
+		Program:      program,
+		CPUMillis:    cpu.Milliseconds(),
+		WorkingSetMB: ws,
+		Home:         home,
+	}
+}
+
+func buildTrace(nodes int, items []trace.Item) *trace.Trace {
+	sort.SliceStable(items, func(i, j int) bool { return items[i].SubmitMillis < items[j].SubmitMillis })
+	var maxAt int64
+	for _, it := range items {
+		if it.SubmitMillis > maxAt {
+			maxAt = it.SubmitMillis
+		}
+	}
+	return &trace.Trace{
+		Name:           "core-test",
+		Group:          workload.Group2,
+		DurationMillis: maxAt + 1000,
+		Nodes:          nodes,
+		Items:          items,
+	}
+}
+
+// wedgeTrace reproduces the blocking scenario (same construction as
+// examples/blocking): two waves of wedge nodes packed with small jobs plus
+// a grower, while churn nodes cycle short jobs whose completions leave
+// stranded idle memory.
+func wedgeTrace(wedge, churn int) *trace.Trace {
+	var items []trace.Item
+	for wave := 0; wave < 2; wave++ {
+		at := time.Duration(wave) * 150 * time.Second
+		for n := 0; n < wedge; n++ {
+			items = append(items,
+				item(at, "m-sort", 62*time.Second, 43, n),
+				item(at, "m-sort", 62*time.Second, 43, n),
+				item(at, "metis", 120*time.Second, 87, n),
+			)
+		}
+	}
+	for i := 0; i < 15*churn; i++ {
+		items = append(items, item(time.Duration(i)*5*time.Second, "bit-r", 35*time.Second, 24, wedge+i%churn))
+	}
+	return buildTrace(wedge+churn, items)
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		opts    core.Options
+		wantErr bool
+	}{
+		{name: "defaults"},
+		{name: "full drain", opts: core.Options{Rule: core.RuleFullDrain}},
+		{name: "early fit", opts: core.Options{Rule: core.RuleEarlyFit}},
+		{name: "bad rule", opts: core.Options{Rule: core.Rule(9)}, wantErr: true},
+		{name: "negative cap", opts: core.Options{MaxReserved: -1}, wantErr: true},
+		{name: "negative timeout", opts: core.Options{ReserveTimeout: -time.Second}, wantErr: true},
+		{name: "large fraction over 1", opts: core.Options{LargeJobFraction: 1.5}, wantErr: true},
+		{name: "negative age factor", opts: core.Options{MinAgeFactor: -1}, wantErr: true},
+		{name: "negative max assigned", opts: core.Options{MaxAssignedPerReservation: -2}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m, err := core.NewManager(tt.opts)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("error = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			got := m.Options()
+			if got.Rule == 0 || got.MaxReserved == 0 || got.ReserveTimeout == 0 {
+				t.Errorf("defaults not applied: %+v", got)
+			}
+		})
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	if core.RuleFullDrain.String() != "full-drain" {
+		t.Error(core.RuleFullDrain.String())
+	}
+	if core.RuleEarlyFit.String() != "early-fit" {
+		t.Error(core.RuleEarlyFit.String())
+	}
+	if core.Rule(9).String() != "rule(9)" {
+		t.Error(core.Rule(9).String())
+	}
+}
+
+func TestVReconfigurationNames(t *testing.T) {
+	v, err := core.NewVReconfiguration(core.Options{Rule: core.RuleFullDrain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name() != "V-Reconfiguration" {
+		t.Errorf("name = %q", v.Name())
+	}
+	ve, err := core.NewVReconfiguration(core.Options{Rule: core.RuleEarlyFit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ve.Name() != "V-Reconfiguration/early-fit" {
+		t.Errorf("name = %q", ve.Name())
+	}
+	if v.Manager() == nil || v.LoadSharing() == nil {
+		t.Error("accessors returned nil")
+	}
+	if _, err := core.NewVReconfiguration(core.Options{Rule: core.Rule(7)}); err == nil {
+		t.Error("bad rule should fail")
+	}
+}
+
+func TestReservationLifecycle(t *testing.T) {
+	v, err := core.NewVReconfiguration(core.Options{Rule: core.RuleFullDrain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := smallCluster(t, 12, v)
+	res, err := c.Run(wedgeTrace(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := v.Manager().Stats()
+	if st.Started == 0 {
+		t.Fatalf("no reservations started under a wedge: %+v", st)
+	}
+	if st.Matured == 0 {
+		t.Errorf("no reservations matured: %+v", st)
+	}
+	if res.ReservedMigration == 0 {
+		t.Error("no job received special service")
+	}
+	// Adaptivity: at the end of the run every reservation must have been
+	// released.
+	for _, n := range c.Nodes() {
+		if n.Reserved() {
+			t.Errorf("node %d still reserved after the run", n.ID())
+		}
+	}
+	if v.Manager().ReservingCount() != 0 || v.Manager().ReservedCount() != 0 {
+		t.Error("manager still tracking reservations after the run")
+	}
+	if res.Jobs != 2*8*3+60 {
+		t.Errorf("jobs = %d", res.Jobs)
+	}
+}
+
+func TestReservationRecordsConsistent(t *testing.T) {
+	v, err := core.NewVReconfiguration(core.Options{Rule: core.RuleFullDrain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := smallCluster(t, 12, v)
+	if _, err := c.Run(wedgeTrace(8, 4)); err != nil {
+		t.Fatal(err)
+	}
+	recs := v.Manager().Records()
+	for i, rec := range recs {
+		if rec.End < rec.Start {
+			t.Errorf("record %d: end %v before start %v", i, rec.End, rec.Start)
+		}
+		if len(rec.Arrivals) == 0 {
+			t.Errorf("record %d: no arrivals", i)
+		}
+		if len(rec.Completions) != len(rec.Arrivals) {
+			t.Errorf("record %d: %d completions for %d arrivals", i, len(rec.Completions), len(rec.Arrivals))
+		}
+		for j, a := range rec.Arrivals {
+			if a < rec.Start || a > rec.End {
+				t.Errorf("record %d arrival %d (%v) outside [%v, %v]", i, j, a, rec.Start, rec.End)
+			}
+		}
+		for j, d := range rec.Completions {
+			if d > rec.End {
+				t.Errorf("record %d completion %d (%v) after release %v", i, j, d, rec.End)
+			}
+		}
+	}
+}
+
+func TestVRBeatsBaselineOnWedge(t *testing.T) {
+	tr := wedgeTrace(8, 4)
+	base := smallCluster(t, 12, policy.NewGLoadSharing())
+	baseRes, err := base.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := core.NewVReconfiguration(core.Options{Rule: core.RuleFullDrain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := smallCluster(t, 12, v)
+	vrRes, err := vc.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vrRes.TotalExec >= baseRes.TotalExec {
+		t.Errorf("V-R exec %v not below baseline %v on the wedge scenario",
+			vrRes.TotalExec, baseRes.TotalExec)
+	}
+}
+
+func TestReservationCapRespected(t *testing.T) {
+	v, err := core.NewVReconfiguration(core.Options{Rule: core.RuleFullDrain, MaxReserved: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := smallCluster(t, 12, v)
+	peak := 0
+	ticker, err := sim.NewTicker(c.Engine(), time.Second, func() {
+		reserved := 0
+		for _, n := range c.Nodes() {
+			if n.Reserved() {
+				reserved++
+			}
+		}
+		if reserved > peak {
+			peak = reserved
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ticker.Stop()
+	if _, err := c.Run(wedgeTrace(8, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if peak > 1 {
+		t.Errorf("observed %d simultaneous reservations with cap 1", peak)
+	}
+	if v.Manager().Stats().CapReached == 0 {
+		t.Error("cap never reached despite heavy blocking")
+	}
+}
+
+func TestSmallVictimsIneligible(t *testing.T) {
+	// All jobs well below the large-job threshold: blocking events fire
+	// but nothing qualifies for special service.
+	v, err := core.NewVReconfiguration(core.Options{Rule: core.RuleFullDrain, LargeJobFraction: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := smallCluster(t, 4, v)
+	var items []trace.Item
+	for n := 0; n < 4; n++ {
+		for k := 0; k < 4; k++ {
+			items = append(items, item(0, "m-sort", 62*time.Second, 43, n))
+		}
+	}
+	if _, err := c.Run(buildTrace(4, items)); err != nil {
+		t.Fatal(err)
+	}
+	st := v.Manager().Stats()
+	if st.Started != 0 {
+		t.Errorf("reservations started for small victims: %+v", st)
+	}
+	if st.BlockedEvents > 0 && st.IneligibleVictims == 0 {
+		t.Errorf("blocked events without ineligibility bookkeeping: %+v", st)
+	}
+}
+
+func TestNoReservationWithoutAccumulatedIdle(t *testing.T) {
+	// Two nodes, both stuffed: accumulated idle stays below one
+	// workstation's user memory, so the paper's activation condition
+	// fails and no reservation starts.
+	v, err := core.NewVReconfiguration(core.Options{Rule: core.RuleFullDrain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := smallCluster(t, 2, v)
+	var items []trace.Item
+	for n := 0; n < 2; n++ {
+		items = append(items,
+			item(0, "metis", 60*time.Second, 87, n),
+			item(0, "metis", 60*time.Second, 87, n),
+		)
+	}
+	if _, err := c.Run(buildTrace(2, items)); err != nil {
+		t.Fatal(err)
+	}
+	st := v.Manager().Stats()
+	if st.Started != 0 {
+		t.Errorf("reservation started despite idle condition: %+v", st)
+	}
+	if st.BlockedEvents > 0 && st.IdleBelowMean == 0 {
+		t.Errorf("expected idle-below-mean bookkeeping: %+v", st)
+	}
+}
+
+func TestEarlyFitAlsoResolves(t *testing.T) {
+	v, err := core.NewVReconfiguration(core.Options{Rule: core.RuleEarlyFit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := smallCluster(t, 12, v)
+	res, err := c.Run(wedgeTrace(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reservations == 0 {
+		t.Error("early-fit rule never reserved")
+	}
+	for _, n := range c.Nodes() {
+		if n.Reserved() {
+			t.Errorf("node %d left reserved", n.ID())
+		}
+	}
+}
+
+func TestJobConservationUnderReconfiguration(t *testing.T) {
+	// Every submitted job must complete exactly once even with
+	// reservations, migrations, and special service in play.
+	v, err := core.NewVReconfiguration(core.Options{Rule: core.RuleFullDrain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := smallCluster(t, 12, v)
+	tr := wedgeTrace(8, 4)
+	res, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != len(tr.Items) {
+		t.Errorf("completed %d of %d jobs", res.Jobs, len(tr.Items))
+	}
+	if c.Outstanding() != 0 || c.PendingCount() != 0 {
+		t.Errorf("outstanding=%d pending=%d after run", c.Outstanding(), c.PendingCount())
+	}
+}
+
+func TestNetworkRAMLifecycle(t *testing.T) {
+	v, err := core.NewVReconfiguration(core.Options{Rule: core.RuleFullDrain, NetworkRAM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := smallCluster(t, 12, v)
+	// Observe remote backing while reservations are in special service.
+	sawRemote := false
+	ticker, err := sim.NewTicker(c.Engine(), time.Second, func() {
+		for _, n := range c.Nodes() {
+			if n.Reserved() && n.Memory().RemoteBacked() {
+				sawRemote = true
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ticker.Stop()
+	res, err := c.Run(wedgeTrace(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReservedMigration > 0 && !sawRemote {
+		t.Error("special service never used network RAM despite the option")
+	}
+	for _, n := range c.Nodes() {
+		if n.Memory().RemoteBacked() {
+			t.Errorf("node %d left remote-backed after release", n.ID())
+		}
+	}
+}
+
+// Property-style robustness: random lognormal workloads of varying
+// intensity complete under V-Reconfiguration with all invariants intact.
+func TestRandomWorkloadsRobustness(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		tr, err := trace.Generate(trace.Config{
+			Name:     "fuzz",
+			Group:    workload.Group2,
+			Sigma:    1.5 + float64(seed)*0.5,
+			Mu:       1.5 + float64(seed)*0.5,
+			Jobs:     40 + int(seed)*10,
+			Duration: 10 * time.Minute,
+			Nodes:    8,
+			Seed:     seed,
+			Jitter:   workload.DefaultJitter,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := core.NewVReconfiguration(core.Options{Rule: core.RuleEarlyFit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := smallCluster(t, 8, v)
+		res, err := c.Run(tr)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Jobs != len(tr.Items) {
+			t.Errorf("seed %d: completed %d of %d", seed, res.Jobs, len(tr.Items))
+		}
+		if res.TotalExec != res.TotalCPU+res.TotalPage+res.TotalQueue+res.TotalMig {
+			t.Errorf("seed %d: Section 5 identity violated", seed)
+		}
+		if res.MeanSlowdown < 1 {
+			t.Errorf("seed %d: mean slowdown %v below 1", seed, res.MeanSlowdown)
+		}
+		for _, n := range c.Nodes() {
+			if n.Reserved() || n.NumJobs() != 0 || n.ExpectedCount() != 0 {
+				t.Errorf("seed %d: node %d left dirty (reserved=%v jobs=%d expected=%d)",
+					seed, n.ID(), n.Reserved(), n.NumJobs(), n.ExpectedCount())
+			}
+		}
+	}
+}

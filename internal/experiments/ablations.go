@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vrcluster/internal/cluster"
+	"vrcluster/internal/core"
+	"vrcluster/internal/metrics"
+	"vrcluster/internal/node"
+	"vrcluster/internal/policy"
+	"vrcluster/internal/trace"
+)
+
+// AblationResult is one variant's outcome in a design-choice study.
+type AblationResult struct {
+	Variant string
+	Result  *metrics.Result
+}
+
+// AblationRules compares every policy variant on one trace: no sharing,
+// CPU-only sharing, the G-Loadsharing baseline, job suspension, and both
+// reserving-period rules of the virtual reconfiguration — covering the
+// design alternatives of Sections 1 and 2.1.
+func AblationRules(cfg RunConfig, level int) ([]AblationResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tr, err := trace.Standard(cfg.Group, level, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name  string
+		build func() (cluster.Scheduler, error)
+	}{
+		{"no-sharing", func() (cluster.Scheduler, error) { return policy.NoSharing{}, nil }},
+		{"cpu-sharing", func() (cluster.Scheduler, error) { return policy.CPUSharing{}, nil }},
+		{"g-loadsharing", func() (cluster.Scheduler, error) { return policy.NewGLoadSharing(), nil }},
+		{"suspension", func() (cluster.Scheduler, error) { return policy.NewSuspension(), nil }},
+		{"vr-full-drain", func() (cluster.Scheduler, error) {
+			return core.NewVReconfiguration(core.Options{Rule: core.RuleFullDrain})
+		}},
+		{"vr-early-fit", func() (cluster.Scheduler, error) {
+			return core.NewVReconfiguration(core.Options{Rule: core.RuleEarlyFit})
+		}},
+	}
+	out := make([]AblationResult, 0, len(variants))
+	for _, v := range variants {
+		sched, err := v.build()
+		if err != nil {
+			return nil, err
+		}
+		res, err := runOne(cfg, tr, sched, nil)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		out = append(out, AblationResult{Variant: v.name, Result: res})
+	}
+	return out, nil
+}
+
+// AblationReservationCap sweeps the maximum number of simultaneously
+// reserved workstations — the fairness dial of Section 2.2.
+func AblationReservationCap(cfg RunConfig, level int, caps []int) ([]AblationResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tr, err := trace.Standard(cfg.Group, level, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AblationResult, 0, len(caps))
+	for _, cap := range caps {
+		sched, err := core.NewVReconfiguration(core.Options{Rule: cfg.Rule, MaxReserved: cap})
+		if err != nil {
+			return nil, err
+		}
+		res, err := runOne(cfg, tr, sched, nil)
+		if err != nil {
+			return nil, fmt.Errorf("ablation cap %d: %w", cap, err)
+		}
+		out = append(out, AblationResult{Variant: fmt.Sprintf("max-reserved=%d", cap), Result: res})
+	}
+	return out, nil
+}
+
+// AblationExchangePeriod sweeps the load-information collection and
+// distribution period — the timeliness/consistency concern the paper's
+// conclusion raises.
+func AblationExchangePeriod(cfg RunConfig, level int, periods []time.Duration) ([]AblationResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tr, err := trace.Standard(cfg.Group, level, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AblationResult, 0, len(periods))
+	for _, p := range periods {
+		sched, err := core.NewVReconfiguration(core.Options{Rule: cfg.Rule})
+		if err != nil {
+			return nil, err
+		}
+		period := p
+		res, err := runOne(cfg, tr, sched, func(cc *cluster.Config) {
+			cc.ControlPeriod = period
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation period %v: %w", p, err)
+		}
+		out = append(out, AblationResult{Variant: fmt.Sprintf("exchange=%v", p), Result: res})
+	}
+	return out, nil
+}
+
+// AblationBigJobs runs a big-job-dominant workload (only the two largest
+// growers of group 1), the case Section 2.3 predicts virtual
+// reconfiguration may not handle well: with big jobs dominant, reserving
+// workstations squeezes normal jobs. It returns the baseline and
+// reconfigured results on that workload.
+func AblationBigJobs(cfg RunConfig, level int) ([]AblationResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if level < 1 || level > len(trace.Levels) {
+		return nil, fmt.Errorf("experiments: level %d out of range", level)
+	}
+	lvl := trace.Levels[level-1]
+	tr, err := trace.Generate(trace.Config{
+		Name:     fmt.Sprintf("BigJobs-Trace-%d", level),
+		Group:    cfg.Group,
+		Sigma:    lvl.Sigma,
+		Mu:       lvl.Sigma,
+		Jobs:     lvl.Jobs,
+		Duration: lvl.Duration,
+		Nodes:    trace.StandardNodes,
+		Seed:     cfg.Seed,
+		Programs: []string{"apsi", "mcf"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationResult
+	base, err := runOne(cfg, tr, policy.NewGLoadSharing(), nil)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AblationResult{Variant: "g-loadsharing", Result: base})
+	sched, err := core.NewVReconfiguration(core.Options{Rule: cfg.Rule})
+	if err != nil {
+		return nil, err
+	}
+	vr, err := runOne(cfg, tr, sched, nil)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AblationResult{Variant: "v-reconfiguration", Result: vr})
+	return out, nil
+}
+
+// AblationSharedNetwork compares migrations over dedicated links with
+// migrations contending for the single shared Ethernet segment the
+// paper's clusters actually use.
+func AblationSharedNetwork(cfg RunConfig, level int) ([]AblationResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tr, err := trace.Standard(cfg.Group, level, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AblationResult, 0, 4)
+	for _, shared := range []bool{false, true} {
+		suffix := "dedicated"
+		if shared {
+			suffix = "shared"
+		}
+		for _, vr := range []bool{false, true} {
+			var sched cluster.Scheduler = policy.NewGLoadSharing()
+			name := "gls/" + suffix
+			if vr {
+				v, err := core.NewVReconfiguration(core.Options{Rule: cfg.Rule})
+				if err != nil {
+					return nil, err
+				}
+				sched = v
+				name = "vr/" + suffix
+			}
+			isShared := shared
+			res, err := runOne(cfg, tr, sched, func(cc *cluster.Config) {
+				cc.SharedNetwork = isShared
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, AblationResult{Variant: name, Result: res})
+		}
+	}
+	return out, nil
+}
+
+// AblationNetworkRAM exercises the Section 2.3 escape hatch for jobs whose
+// memory demand exceeds any single workstation: "this job may not be
+// suitable in this cluster unless the network RAM technique is applied".
+// A workload of oversized apsi instances (420 MB working sets on 384 MB
+// workstations) is run under V-Reconfiguration with disk-backed reserved
+// service and with network-RAM-backed reserved service.
+func AblationNetworkRAM(cfg RunConfig, level int) ([]AblationResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if level < 1 || level > len(trace.Levels) {
+		return nil, fmt.Errorf("experiments: level %d out of range", level)
+	}
+	lvl := trace.Levels[level-1]
+	tr, err := trace.Generate(trace.Config{
+		Name:     fmt.Sprintf("Oversized-Trace-%d", level),
+		Group:    cfg.Group,
+		Sigma:    lvl.Sigma,
+		Mu:       lvl.Sigma,
+		Jobs:     lvl.Jobs,
+		Duration: lvl.Duration,
+		Nodes:    trace.StandardNodes,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Inflate one program in twenty past any workstation's memory.
+	for i := range tr.Items {
+		if i%20 == 0 && tr.Items[i].Program == "apsi" {
+			tr.Items[i].WorkingSetMB = 420
+		}
+	}
+	var out []AblationResult
+	for _, v := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"vr-disk-paging", core.Options{Rule: cfg.Rule}},
+		{"vr-network-ram", core.Options{Rule: cfg.Rule, NetworkRAM: true}},
+	} {
+		sched, err := core.NewVReconfiguration(v.opts)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runOne(cfg, tr, sched, nil)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		out = append(out, AblationResult{Variant: v.name, Result: res})
+	}
+	return out, nil
+}
+
+// AblationHeterogeneous runs one trace on a heterogeneous cluster mixing
+// large-memory and small-memory workstations (Section 2.3: "In a
+// heterogeneous cluster system, a reserved workstation will be the one
+// with relatively large physical memory space").
+func AblationHeterogeneous(cfg RunConfig, level int) ([]AblationResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tr, err := trace.Standard(cfg.Group, level, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	base := clusterConfig(cfg.Group)
+	protos := base.Nodes[:1]
+	big := protos[0]
+	big.Memory.CapacityMB *= 1.5
+	big.CPUSpeedMHz *= 1.25
+	small := protos[0]
+	small.Memory.CapacityMB *= 0.75
+	het := cluster.Heterogeneous(len(base.Nodes), []node.Config{big, protos[0], small, protos[0]}, protos[0].CPUSpeedMHz)
+	het.Seed = base.Seed
+
+	var out []AblationResult
+	for _, v := range []struct {
+		name  string
+		build func() (cluster.Scheduler, error)
+	}{
+		{"g-loadsharing", func() (cluster.Scheduler, error) { return policy.NewGLoadSharing(), nil }},
+		{"v-reconfiguration", func() (cluster.Scheduler, error) {
+			return core.NewVReconfiguration(core.Options{Rule: cfg.Rule})
+		}},
+	} {
+		sched, err := v.build()
+		if err != nil {
+			return nil, err
+		}
+		hcfg := het
+		hcfg.Quantum = cfg.Quantum
+		c, err := cluster.New(hcfg, sched)
+		if err != nil {
+			return nil, err
+		}
+		res, err := c.Run(tr)
+		if err != nil {
+			return nil, fmt.Errorf("ablation heterogeneous %s: %w", v.name, err)
+		}
+		out = append(out, AblationResult{Variant: v.name, Result: res})
+	}
+	return out, nil
+}

@@ -1,0 +1,384 @@
+// Package experiments defines one reproduction harness per table and
+// figure in the paper's evaluation (Section 4): it runs the published
+// workload traces through G-Loadsharing and V-Reconfiguration on the
+// matching simulated cluster and emits the same rows and series the paper
+// reports, side by side with the paper's published reductions.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"vrcluster/internal/analytic"
+	"vrcluster/internal/cluster"
+	"vrcluster/internal/core"
+	"vrcluster/internal/metrics"
+	"vrcluster/internal/policy"
+	"vrcluster/internal/trace"
+	"vrcluster/internal/workload"
+)
+
+// RunConfig parameterizes a group's evaluation runs.
+type RunConfig struct {
+	Group   workload.Group
+	Seed    int64
+	Quantum time.Duration
+	Levels  []int
+	Rule    core.Rule
+}
+
+// DefaultSeed keeps every published number reproducible.
+const DefaultSeed = 42
+
+func (c *RunConfig) validate() error {
+	if c.Group != workload.Group1 && c.Group != workload.Group2 {
+		return fmt.Errorf("experiments: unknown group %d", c.Group)
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 100 * time.Millisecond
+	}
+	if len(c.Levels) == 0 {
+		c.Levels = []int{1, 2, 3, 4, 5}
+	}
+	for _, l := range c.Levels {
+		if l < 1 || l > len(trace.Levels) {
+			return fmt.Errorf("experiments: level %d out of range", l)
+		}
+	}
+	if c.Rule == 0 {
+		c.Rule = core.RuleFullDrain
+	}
+	return nil
+}
+
+// LevelRun holds the paired results for one submission intensity.
+type LevelRun struct {
+	Level   int
+	Base    *metrics.Result
+	VR      *metrics.Result
+	Gain    analytic.Gain
+	Records []core.ReservationRecord
+}
+
+// GroupRuns holds the full evaluation of one workload group.
+type GroupRuns struct {
+	Group  workload.Group
+	Levels []LevelRun
+}
+
+// clusterConfig returns the simulated cluster matching the group.
+func clusterConfig(g workload.Group) cluster.Config {
+	if g == workload.Group2 {
+		return cluster.Cluster2()
+	}
+	return cluster.Cluster1()
+}
+
+// Run executes the paired trace-driven simulations for a group.
+func Run(cfg RunConfig) (*GroupRuns, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	out := &GroupRuns{Group: cfg.Group}
+	for _, lvl := range cfg.Levels {
+		tr, err := trace.Standard(cfg.Group, lvl, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		base, err := runOne(cfg, tr, policy.NewGLoadSharing(), nil)
+		if err != nil {
+			return nil, err
+		}
+		vrSched, err := core.NewVReconfiguration(core.Options{Rule: cfg.Rule})
+		if err != nil {
+			return nil, err
+		}
+		vr, err := runOne(cfg, tr, vrSched, nil)
+		if err != nil {
+			return nil, err
+		}
+		recs := vrSched.Manager().Records()
+		gain, err := analytic.Compare(base, vr, recs)
+		if err != nil {
+			return nil, err
+		}
+		out.Levels = append(out.Levels, LevelRun{
+			Level: lvl, Base: base, VR: vr, Gain: gain, Records: recs,
+		})
+	}
+	return out, nil
+}
+
+func runOne(cfg RunConfig, tr *trace.Trace, sched cluster.Scheduler, mutate func(*cluster.Config)) (*metrics.Result, error) {
+	ccfg := clusterConfig(cfg.Group)
+	ccfg.Quantum = cfg.Quantum
+	if mutate != nil {
+		mutate(&ccfg)
+	}
+	c, err := cluster.New(ccfg, sched)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(tr)
+}
+
+// Row is one trace's comparison in a figure: the measured baseline and
+// reconfigured values, the measured relative reduction, and the paper's
+// published reduction where available (NaN otherwise).
+type Row struct {
+	Trace          string
+	Base           float64
+	VR             float64
+	Reduction      float64
+	PaperReduction float64
+}
+
+// Table is one rendered experiment output.
+type Table struct {
+	ID    string
+	Title string
+	Unit  string
+	Rows  []Row
+}
+
+// Published reductions from Section 4 (fractions; NaN = not published,
+// described only as "modest" or "small").
+var (
+	paperFig1Exec  = []float64{0.293, 0.324, 0.324, 0.303, 0.274}
+	paperFig1Queue = []float64{0.248, 0.358, 0.367, 0.340, 0.382}
+	paperFig2Slow  = []float64{0.234, 0.277, 0.226, 0.246, 0.2846}
+	paperFig2Idle  = []float64{0.129, 0.242, 0.297, 0.409, 0.508}
+	paperFig3Exec  = []float64{math.NaN(), 0.134, 0.140, math.NaN(), math.NaN()}
+	paperFig3Queue = []float64{math.NaN(), 0.163, 0.168, math.NaN(), math.NaN()}
+	paperFig4Slow  = []float64{math.NaN(), 0.163, 0.168, 0.068, math.NaN()}
+	paperFig4Skew  = []float64{math.NaN(), 0.103, 0.165, 0.063, math.NaN()}
+)
+
+func paperValue(ref []float64, level int) float64 {
+	if level < 1 || level > len(ref) {
+		return math.NaN()
+	}
+	return ref[level-1]
+}
+
+func (gr *GroupRuns) rows(metric func(*metrics.Result) float64, ref []float64) []Row {
+	rows := make([]Row, 0, len(gr.Levels))
+	for _, lr := range gr.Levels {
+		b, v := metric(lr.Base), metric(lr.VR)
+		rows = append(rows, Row{
+			Trace:          lr.Base.Trace,
+			Base:           b,
+			VR:             v,
+			Reduction:      metrics.Reduction(b, v),
+			PaperReduction: paperValue(ref, lr.Level),
+		})
+	}
+	return rows
+}
+
+// ExecQueueTables reproduces Figure 1 (group 1) or Figure 3 (group 2): the
+// total execution times and total queuing times of the five traces under
+// both policies.
+func (gr *GroupRuns) ExecQueueTables() []Table {
+	id, refExec, refQueue := "Figure 1", paperFig1Exec, paperFig1Queue
+	if gr.Group == workload.Group2 {
+		id, refExec, refQueue = "Figure 3", paperFig3Exec, paperFig3Queue
+	}
+	return []Table{
+		{
+			ID:    id + " (left)",
+			Title: "Total execution times",
+			Unit:  "s",
+			Rows:  gr.rows(func(r *metrics.Result) float64 { return r.TotalExec.Seconds() }, refExec),
+		},
+		{
+			ID:    id + " (right)",
+			Title: "Total queuing times",
+			Unit:  "s",
+			Rows:  gr.rows(func(r *metrics.Result) float64 { return r.TotalQueue.Seconds() }, refQueue),
+		},
+	}
+}
+
+// SlowdownTables reproduces Figure 2 (group 1) or Figure 4 (group 2): the
+// average slowdowns plus the group-specific second panel — average idle
+// memory volumes for group 1, average job balance skew for group 2.
+func (gr *GroupRuns) SlowdownTables() []Table {
+	if gr.Group == workload.Group2 {
+		return []Table{
+			{
+				ID:    "Figure 4 (left)",
+				Title: "Average slowdowns",
+				Unit:  "x",
+				Rows:  gr.rows(func(r *metrics.Result) float64 { return r.MeanSlowdown }, paperFig4Slow),
+			},
+			{
+				ID:    "Figure 4 (right)",
+				Title: "Average job balance skew (non-reserved workstations)",
+				Unit:  "jobs",
+				Rows:  gr.rows(func(r *metrics.Result) float64 { return r.AvgSkew }, paperFig4Skew),
+			},
+		}
+	}
+	return []Table{
+		{
+			ID:    "Figure 2 (left)",
+			Title: "Average slowdowns",
+			Unit:  "x",
+			Rows:  gr.rows(func(r *metrics.Result) float64 { return r.MeanSlowdown }, paperFig2Slow),
+		},
+		{
+			ID:    "Figure 2 (right)",
+			Title: "Average idle memory volumes",
+			Unit:  "MB",
+			Rows:  gr.rows(func(r *metrics.Result) float64 { return r.AvgIdleMB }, paperFig2Idle),
+		},
+	}
+}
+
+// IntervalRow verifies the paper's measurement-interval insensitivity
+// claim: the average idle memory volume and job balance skew computed at
+// 1 s, 10 s, 30 s, and 1 min sampling are nearly identical.
+type IntervalRow struct {
+	Trace  string
+	Policy string
+	Idle   [4]float64
+	Skew   [4]float64
+}
+
+// SamplingIntervals are the four intervals the paper cross-checks.
+var SamplingIntervals = [4]time.Duration{time.Second, 10 * time.Second, 30 * time.Second, time.Minute}
+
+// IntervalInsensitivity recomputes the sampled averages at the paper's
+// four intervals for every run.
+func (gr *GroupRuns) IntervalInsensitivity() ([]IntervalRow, error) {
+	var rows []IntervalRow
+	for _, lr := range gr.Levels {
+		for _, r := range []*metrics.Result{lr.Base, lr.VR} {
+			col := r.Collector()
+			if col == nil {
+				return nil, errors.New("experiments: result has no collector")
+			}
+			row := IntervalRow{Trace: r.Trace, Policy: r.Policy}
+			for i, iv := range SamplingIntervals {
+				idle, err := col.AvgIdleMB(iv)
+				if err != nil {
+					return nil, err
+				}
+				skew, err := col.AvgSkew(iv)
+				if err != nil {
+					return nil, err
+				}
+				row.Idle[i] = idle
+				row.Skew[i] = skew
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// AnalyticRow is the Section 5 verification of one level: the identity
+// check, the gain condition, and the model's prediction error.
+type AnalyticRow struct {
+	Trace           string
+	IdentityOK      bool
+	ConditionHolds  bool
+	MeasuredGain    time.Duration
+	PredictedGain   time.Duration
+	ReservedBound   time.Duration
+	PredictionError float64
+}
+
+// AnalyticCheck verifies the Section 5 model against every paired run.
+// The identity tolerance is one scheduling quantum per job.
+func (gr *GroupRuns) AnalyticCheck(quantum time.Duration) []AnalyticRow {
+	rows := make([]AnalyticRow, 0, len(gr.Levels))
+	for _, lr := range gr.Levels {
+		tol := time.Duration(lr.Base.Jobs) * quantum
+		row := AnalyticRow{
+			Trace:           lr.Base.Trace,
+			IdentityOK:      analytic.VerifyIdentity(lr.Base, tol) == nil && analytic.VerifyIdentity(lr.VR, tol) == nil,
+			ConditionHolds:  lr.Gain.ConditionHolds(),
+			MeasuredGain:    lr.Gain.DeltaExec,
+			PredictedGain:   lr.Gain.Predicted(),
+			ReservedBound:   lr.Gain.ReservedBound,
+			PredictionError: lr.Gain.PredictionError(),
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// CatalogRow is one program of Table 1 or Table 2.
+type CatalogRow struct {
+	Program     string
+	Description string
+	Input       string
+	WorkingSet  string
+	Lifetime    string
+}
+
+// CatalogTable reproduces Table 1 (group 1) or Table 2 (group 2).
+func CatalogTable(g workload.Group) ([]CatalogRow, error) {
+	programs := workload.Programs(g)
+	if programs == nil {
+		return nil, fmt.Errorf("experiments: unknown group %d", g)
+	}
+	rows := make([]CatalogRow, 0, len(programs))
+	for _, p := range programs {
+		ws := fmt.Sprintf("%.1f", p.WorkingSetMB)
+		if p.MinWorkingSetMB < p.WorkingSetMB {
+			ws = fmt.Sprintf("%.1f-%.1f", p.MinWorkingSetMB, p.WorkingSetMB)
+		}
+		rows = append(rows, CatalogRow{
+			Program:     p.Name,
+			Description: p.Description,
+			Input:       p.Input,
+			WorkingSet:  ws,
+			Lifetime:    fmt.Sprintf("%.1f", p.Lifetime.Seconds()),
+		})
+	}
+	return rows, nil
+}
+
+// SeedRow is one seed's headline reductions on a trace level.
+type SeedRow struct {
+	Seed     int64
+	Exec     float64
+	Queue    float64
+	Slowdown float64
+}
+
+// SeedSensitivity reruns the paired comparison for one trace level across
+// several generation seeds, reporting each seed's reductions — a
+// robustness check that the headline result is not an artifact of one
+// random trace.
+func SeedSensitivity(cfg RunConfig, level int, seeds []int64) ([]SeedRow, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("experiments: no seeds")
+	}
+	rows := make([]SeedRow, 0, len(seeds))
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		c.Levels = []int{level}
+		gr, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		lr := gr.Levels[0]
+		rows = append(rows, SeedRow{
+			Seed:     seed,
+			Exec:     metrics.Reduction(lr.Base.TotalExec.Seconds(), lr.VR.TotalExec.Seconds()),
+			Queue:    metrics.Reduction(lr.Base.TotalQueue.Seconds(), lr.VR.TotalQueue.Seconds()),
+			Slowdown: metrics.Reduction(lr.Base.MeanSlowdown, lr.VR.MeanSlowdown),
+		})
+	}
+	return rows, nil
+}

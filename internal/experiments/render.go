@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"vrcluster/internal/stats"
+	"vrcluster/internal/workload"
+)
+
+// RenderTable writes one figure's comparison as a fixed-width text table.
+func RenderTable(w io.Writer, t Table) error {
+	if _, err := fmt.Fprintf(w, "%s — %s [%s]\n", t.ID, t.Title, t.Unit); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, " %-14s %14s %14s %11s %11s\n",
+		"trace", "G-Loadsharing", "V-Reconfig", "reduction", "paper"); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		paper := "—"
+		if !math.IsNaN(r.PaperReduction) {
+			paper = fmt.Sprintf("%.1f%%", r.PaperReduction*100)
+		}
+		if _, err := fmt.Fprintf(w, " %-14s %14.1f %14.1f %10.1f%% %11s\n",
+			r.Trace, r.Base, r.VR, r.Reduction*100, paper); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderCatalog writes Table 1 or Table 2.
+func RenderCatalog(w io.Writer, g workload.Group) error {
+	rows, err := CatalogTable(g)
+	if err != nil {
+		return err
+	}
+	title := "Table 1 — SPEC-2000 benchmark programs (workload group 1)"
+	if g == workload.Group2 {
+		title = "Table 2 — application programs (workload group 2)"
+	}
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, " %-10s %-44s %-14s %14s %12s\n",
+		"program", "description", "input", "working set MB", "lifetime s"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, " %-10s %-44s %-14s %14s %12s\n",
+			r.Program, r.Description, r.Input, r.WorkingSet, r.Lifetime); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintln(w)
+	return err
+}
+
+// RenderIntervalRows writes the measurement-interval insensitivity check.
+func RenderIntervalRows(w io.Writer, rows []IntervalRow) error {
+	if _, err := fmt.Fprintln(w, "Measurement-interval insensitivity (idle MB / skew at 1s, 10s, 30s, 1min)"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, " %-14s %-22s idle %8.1f %8.1f %8.1f %8.1f  skew %6.3f %6.3f %6.3f %6.3f\n",
+			r.Trace, r.Policy,
+			r.Idle[0], r.Idle[1], r.Idle[2], r.Idle[3],
+			r.Skew[0], r.Skew[1], r.Skew[2], r.Skew[3]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderAnalyticRows writes the Section 5 verification.
+func RenderAnalyticRows(w io.Writer, rows []AnalyticRow) error {
+	if _, err := fmt.Fprintln(w, "Section 5 analytical verification"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, " %-14s %-9s %-10s %14s %14s %14s %9s\n",
+		"trace", "identity", "condition", "measured gain", "model gain", "resv bound", "error"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, " %-14s %-9v %-10v %13.1fs %13.1fs %13.1fs %8.1f%%\n",
+			r.Trace, r.IdentityOK, r.ConditionHolds,
+			r.MeasuredGain.Seconds(), r.PredictedGain.Seconds(),
+			r.ReservedBound.Seconds(), r.PredictionError*100); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderAblation writes one design-choice study.
+func RenderAblation(w io.Writer, title string, rows []AblationResult) error {
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, " %-20s %14s %14s %10s %10s %10s %6s\n",
+		"variant", "total exec s", "queue s", "slowdown", "max slow", "makespan s", "resv"); err != nil {
+		return err
+	}
+	for _, a := range rows {
+		r := a.Result
+		if _, err := fmt.Fprintf(w, " %-20s %14.1f %14.1f %10.2f %10.2f %10.1f %6d\n",
+			a.Variant, r.TotalExec.Seconds(), r.TotalQueue.Seconds(),
+			r.MeanSlowdown, r.MaxSlowdown, r.Makespan.Seconds(), r.Reservations); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderGroup writes a group's complete figure reproduction.
+func RenderGroup(w io.Writer, gr *GroupRuns, quantum time.Duration) error {
+	for _, t := range gr.ExecQueueTables() {
+		if err := RenderTable(w, t); err != nil {
+			return err
+		}
+	}
+	for _, t := range gr.SlowdownTables() {
+		if err := RenderTable(w, t); err != nil {
+			return err
+		}
+	}
+	rows, err := gr.IntervalInsensitivity()
+	if err != nil {
+		return err
+	}
+	if err := RenderIntervalRows(w, rows); err != nil {
+		return err
+	}
+	return RenderAnalyticRows(w, gr.AnalyticCheck(quantum))
+}
+
+// RenderSeedRows writes the seed-sensitivity study with aggregates.
+func RenderSeedRows(w io.Writer, rows []SeedRow) error {
+	if _, err := fmt.Fprintln(w, "Seed sensitivity — V-Reconfiguration reductions across trace seeds"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, " %-8s %10s %10s %10s\n", "seed", "exec", "queue", "slowdown"); err != nil {
+		return err
+	}
+	var exec, queue, slow stats.Online
+	for _, r := range rows {
+		exec.Add(r.Exec)
+		queue.Add(r.Queue)
+		slow.Add(r.Slowdown)
+		if _, err := fmt.Fprintf(w, " %-8d %9.1f%% %9.1f%% %9.1f%%\n",
+			r.Seed, r.Exec*100, r.Queue*100, r.Slowdown*100); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, " %-8s %9.1f%% %9.1f%% %9.1f%%  (stddev %.1f / %.1f / %.1f)\n\n",
+		"mean", exec.Mean()*100, queue.Mean()*100, slow.Mean()*100,
+		exec.StdDev()*100, queue.StdDev()*100, slow.StdDev()*100)
+	return err
+}

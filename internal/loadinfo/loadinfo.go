@@ -1,0 +1,195 @@
+// Package loadinfo implements the globally shared load index of the
+// paper's Section 3.3.1: each workstation keeps CPU, memory, and I/O load
+// status for every other node, collected and distributed periodically. The
+// Board is a point-in-time snapshot refreshed on that period, so policies
+// act on slightly stale information, exactly as in a real cluster.
+package loadinfo
+
+import (
+	"fmt"
+	"time"
+
+	"vrcluster/internal/node"
+)
+
+// Entry is one node's published load status.
+type Entry struct {
+	NodeID    int
+	Jobs      int
+	Slots     int // the node's CPU threshold
+	IdleMB    float64
+	UserMB    float64
+	Pressured bool
+	Reserved  bool
+	HasSlot   bool
+	FaultRate float64
+	// IOActiveJobs and CacheAvailability are the node's I/O load status.
+	IOActiveJobs      int
+	CacheAvailability float64
+	UpdatedAt         time.Duration
+}
+
+// DefaultPeriod is the load collection/distribution interval.
+const DefaultPeriod = time.Second
+
+// Board holds the latest snapshot of every node's status.
+type Board struct {
+	entries []Entry
+	period  time.Duration
+}
+
+// NewBoard sizes a board for n nodes refreshed every period.
+func NewBoard(n int, period time.Duration) (*Board, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("loadinfo: node count %d must be positive", n)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("loadinfo: period %v must be positive", period)
+	}
+	return &Board{entries: make([]Entry, n), period: period}, nil
+}
+
+// Period reports the refresh interval.
+func (b *Board) Period() time.Duration { return b.period }
+
+// Len reports the number of tracked nodes.
+func (b *Board) Len() int { return len(b.entries) }
+
+// Refresh snapshots every node's current status at virtual time now.
+func (b *Board) Refresh(now time.Duration, nodes []*node.Node) error {
+	if len(nodes) != len(b.entries) {
+		return fmt.Errorf("loadinfo: %d nodes, board sized for %d", len(nodes), len(b.entries))
+	}
+	for i, n := range nodes {
+		b.entries[i] = Entry{
+			NodeID:            n.ID(),
+			Jobs:              n.NumJobs(),
+			Slots:             n.Config().CPUThreshold,
+			IdleMB:            n.IdleMB(),
+			UserMB:            n.Memory().UserMB(),
+			Pressured:         n.Pressured(),
+			Reserved:          n.Reserved(),
+			HasSlot:           n.HasSlot(),
+			FaultRate:         n.Memory().FaultRate(),
+			IOActiveJobs:      n.IOActiveJobs(),
+			CacheAvailability: n.CacheAvailability(),
+			UpdatedAt:         now,
+		}
+	}
+	return nil
+}
+
+// Entry returns the snapshot for one node.
+func (b *Board) Entry(id int) (Entry, error) {
+	if id < 0 || id >= len(b.entries) {
+		return Entry{}, fmt.Errorf("loadinfo: node %d out of range", id)
+	}
+	return b.entries[id], nil
+}
+
+// Entries returns a copy of all snapshots.
+func (b *Board) Entries() []Entry {
+	out := make([]Entry, len(b.entries))
+	copy(out, b.entries)
+	return out
+}
+
+// AccumulatedIdleMB sums idle memory across nodes. When excludeReserved is
+// set, reserved workstations do not contribute — their memory is already
+// committed to special service.
+func (b *Board) AccumulatedIdleMB(excludeReserved bool) float64 {
+	sum := 0.0
+	for _, e := range b.entries {
+		if excludeReserved && e.Reserved {
+			continue
+		}
+		sum += e.IdleMB
+	}
+	return sum
+}
+
+// MeanUserMB reports the average user memory per workstation — the
+// threshold the paper compares accumulated idle memory against before
+// activating a reconfiguration.
+func (b *Board) MeanUserMB() float64 {
+	if len(b.entries) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range b.entries {
+		sum += e.UserMB
+	}
+	return sum / float64(len(b.entries))
+}
+
+// NotePlacement debits the snapshot entry for a node that has just been
+// chosen as a placement target, so that several decisions taken within one
+// refresh period do not all pile onto the same workstation. The debit is
+// overwritten by the next Refresh.
+func (b *Board) NotePlacement(id int, demandMB float64) error {
+	if id < 0 || id >= len(b.entries) {
+		return fmt.Errorf("loadinfo: node %d out of range", id)
+	}
+	e := &b.entries[id]
+	e.Jobs++
+	e.IdleMB -= demandMB
+	if e.IdleMB < 0 {
+		e.IdleMB = 0
+		e.Pressured = true
+	}
+	e.HasSlot = e.Jobs < e.Slots
+	return nil
+}
+
+// BestDestination picks a normal load-sharing target for a payload of
+// demandMB: an unreserved node with a free slot, no memory pressure, and at
+// least demandMB idle memory, preferring the most idle memory and then the
+// fewest jobs. exclude skips specific node IDs (e.g. the source). Returns
+// false when no node qualifies — the condition under which submissions and
+// migrations block.
+func (b *Board) BestDestination(demandMB float64, exclude map[int]bool) (int, bool) {
+	bestID, found := -1, false
+	var bestIdle float64
+	bestJobs := 0
+	for _, e := range b.entries {
+		if e.Reserved || !e.HasSlot || e.Pressured || exclude[e.NodeID] {
+			continue
+		}
+		if e.IdleMB < demandMB {
+			continue
+		}
+		better := !found ||
+			e.IdleMB > bestIdle ||
+			(e.IdleMB == bestIdle && e.Jobs < bestJobs)
+		if better {
+			bestID, bestIdle, bestJobs, found = e.NodeID, e.IdleMB, e.Jobs, true
+		}
+	}
+	return bestID, found
+}
+
+// ReservationCandidate picks the workstation to reserve (the paper's "most
+// lightly loaded workstation with largest idle memory space"): the
+// unreserved node with the largest idle memory, breaking ties toward fewer
+// jobs. At blocking time, the largest-idle nodes are precisely those whose
+// idle memory is stranded — slot-capped workstations or fragments too
+// small for any submission — so reserving them withholds the least usable
+// capacity while accumulating free space the fastest. Returns false when
+// every node is reserved or excluded.
+func (b *Board) ReservationCandidate(exclude map[int]bool) (int, bool) {
+	bestID, found := -1, false
+	bestJobs := 0
+	var bestIdle float64
+	for _, e := range b.entries {
+		if e.Reserved || exclude[e.NodeID] {
+			continue
+		}
+		better := !found ||
+			e.IdleMB > bestIdle ||
+			(e.IdleMB == bestIdle && e.Jobs < bestJobs)
+		if better {
+			bestID, bestJobs, bestIdle, found = e.NodeID, e.Jobs, e.IdleMB, true
+		}
+	}
+	return bestID, found
+}

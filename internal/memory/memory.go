@@ -1,0 +1,252 @@
+// Package memory models a workstation's memory subsystem: user-space
+// capacity, per-job resident demand accounting, idle-space reporting for
+// the load index, and the page-fault model that converts memory overcommit
+// into paging delay.
+//
+// Fault model (a documented substitution — see DESIGN.md): the paper
+// generates page faults "by an experiment-based model presented in [3]",
+// which is not reproduced in the available text. Here, when the sum of job
+// demands on a node exceeds user memory, every job runs with an unbacked
+// fraction u = 1 - user/total and incurs faults at a rate that grows
+// superlinearly in u (thrashing), each fault costing the configured service
+// time (10 ms in both simulated clusters).
+package memory
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config describes a node's memory hardware and fault model.
+type Config struct {
+	// CapacityMB is physical memory; UserFraction is the share available
+	// to user jobs after the kernel's resident footprint.
+	CapacityMB   float64
+	UserFraction float64
+
+	// PageKB is the page size; FaultService is the time to service one
+	// major fault.
+	PageKB       float64
+	FaultService time.Duration
+
+	// FaultScale is the fault rate (faults per CPU-second) at 50%
+	// unbacked fraction; the rate follows k*u/(1-u) with k = FaultScale.
+	FaultScale float64
+}
+
+// Defaults from the paper's simulation setup (Section 3.3.1).
+const (
+	DefaultUserFraction = 0.9375 // ~24 MB kernel residency on a 384 MB node
+	DefaultPageKB       = 4
+	DefaultFaultService = 10 * time.Millisecond
+	// DefaultFaultScale makes sustained overcommit catastrophic, as
+	// thrashing is in practice: at 20% unbacked demand a job spends ~2.5
+	// wall seconds per CPU second in page-fault stalls, and a deeply
+	// overcommitted workstation makes almost no progress. This severity
+	// is what lets a few unexpectedly large jobs "block the execution
+	// pace of majority jobs" (Section 1).
+	DefaultFaultScale = 1000
+)
+
+// Validate fills zero fields with defaults and rejects nonsense.
+func (c *Config) Validate() error {
+	if c.CapacityMB <= 0 {
+		return fmt.Errorf("memory: capacity %v MB must be positive", c.CapacityMB)
+	}
+	if c.UserFraction == 0 {
+		c.UserFraction = DefaultUserFraction
+	}
+	if c.UserFraction <= 0 || c.UserFraction > 1 {
+		return fmt.Errorf("memory: user fraction %v outside (0, 1]", c.UserFraction)
+	}
+	if c.PageKB == 0 {
+		c.PageKB = DefaultPageKB
+	}
+	if c.PageKB <= 0 {
+		return fmt.Errorf("memory: page size %v KB must be positive", c.PageKB)
+	}
+	if c.FaultService == 0 {
+		c.FaultService = DefaultFaultService
+	}
+	if c.FaultService < 0 {
+		return fmt.Errorf("memory: fault service %v must be nonnegative", c.FaultService)
+	}
+	if c.FaultScale == 0 {
+		c.FaultScale = DefaultFaultScale
+	}
+	if c.FaultScale < 0 {
+		return fmt.Errorf("memory: fault scale %v must be nonnegative", c.FaultScale)
+	}
+	return nil
+}
+
+// Manager tracks the demands of the jobs resident on one workstation.
+type Manager struct {
+	cfg     Config
+	demands map[int]float64
+	total   float64
+
+	// remoteService, when positive, overrides the disk fault service
+	// time: pages are fetched from another workstation's idle memory
+	// over the network instead of from the local swap disk — the
+	// network RAM technique the paper's Section 2.3 points to for jobs
+	// bigger than any single workstation's memory.
+	remoteService time.Duration
+}
+
+// NewManager constructs a memory manager, applying config defaults.
+func NewManager(cfg Config) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Manager{cfg: cfg, demands: make(map[int]float64)}, nil
+}
+
+// Config returns the validated configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// UserMB reports the memory available to user jobs.
+func (m *Manager) UserMB() float64 { return m.cfg.CapacityMB * m.cfg.UserFraction }
+
+// Register adds a job's demand. Registering an already-registered job is an
+// error; use Update for demand growth.
+func (m *Manager) Register(jobID int, demandMB float64) error {
+	if demandMB < 0 {
+		return fmt.Errorf("memory: job %d negative demand %v", jobID, demandMB)
+	}
+	if _, ok := m.demands[jobID]; ok {
+		return fmt.Errorf("memory: job %d already registered", jobID)
+	}
+	m.demands[jobID] = demandMB
+	m.total += demandMB
+	return nil
+}
+
+// Update revises a registered job's demand.
+func (m *Manager) Update(jobID int, demandMB float64) error {
+	if demandMB < 0 {
+		return fmt.Errorf("memory: job %d negative demand %v", jobID, demandMB)
+	}
+	old, ok := m.demands[jobID]
+	if !ok {
+		return fmt.Errorf("memory: job %d not registered", jobID)
+	}
+	m.demands[jobID] = demandMB
+	m.total += demandMB - old
+	if m.total < 0 {
+		m.total = 0
+	}
+	return nil
+}
+
+// Remove drops a job's demand (completion or migration away).
+func (m *Manager) Remove(jobID int) error {
+	old, ok := m.demands[jobID]
+	if !ok {
+		return fmt.Errorf("memory: job %d not registered", jobID)
+	}
+	delete(m.demands, jobID)
+	m.total -= old
+	if m.total < 0 {
+		m.total = 0
+	}
+	return nil
+}
+
+// Jobs reports how many jobs hold registered demand.
+func (m *Manager) Jobs() int { return len(m.demands) }
+
+// DemandMB reports the total registered demand.
+func (m *Manager) DemandMB() float64 { return m.total }
+
+// IdleMB reports unclaimed user memory (never negative): the quantity the
+// paper accumulates cluster-wide to decide whether a virtual
+// reconfiguration can help.
+func (m *Manager) IdleMB() float64 {
+	idle := m.UserMB() - m.total
+	if idle < 0 {
+		return 0
+	}
+	return idle
+}
+
+// Overcommit reports demand as a fraction of user memory (1.0 = exactly
+// full).
+func (m *Manager) Overcommit() float64 {
+	u := m.UserMB()
+	if u <= 0 {
+		return 0
+	}
+	return m.total / u
+}
+
+// Pressured reports whether demand exceeds user memory, i.e. the node is
+// paging.
+func (m *Manager) Pressured() bool { return m.total > m.UserMB() }
+
+// UnbackedFraction reports the share of demand with no physical backing:
+// 1 - user/total when pressured, else 0.
+func (m *Manager) UnbackedFraction() float64 {
+	if !m.Pressured() || m.total <= 0 {
+		return 0
+	}
+	return 1 - m.UserMB()/m.total
+}
+
+// FaultRate reports faults per CPU-second experienced by each resident job
+// at the current pressure: k*u/(1-u), capped to keep the model finite as
+// u -> 1 (the cap corresponds to every memory access beyond ~97% unbacked
+// hitting the fault ceiling).
+func (m *Manager) FaultRate() float64 {
+	u := m.UnbackedFraction()
+	if u <= 0 {
+		return 0
+	}
+	const uCap = 0.97
+	if u > uCap {
+		u = uCap
+	}
+	return m.cfg.FaultScale * u / (1 - u)
+}
+
+// StallPerCPUSecond reports seconds of page-fault stall incurred per second
+// of CPU progress at current pressure.
+func (m *Manager) StallPerCPUSecond() float64 {
+	return m.FaultRate() * m.faultService().Seconds()
+}
+
+// SetRemoteBacking makes page faults hit remote idle memory over the
+// network at the given per-page service time instead of the local swap
+// disk. A nonpositive service restores disk paging.
+func (m *Manager) SetRemoteBacking(service time.Duration) {
+	if service < 0 {
+		service = 0
+	}
+	m.remoteService = service
+}
+
+// RemoteBacked reports whether faults are currently served by network RAM.
+func (m *Manager) RemoteBacked() bool { return m.remoteService > 0 }
+
+func (m *Manager) faultService() time.Duration {
+	if m.remoteService > 0 {
+		return m.remoteService
+	}
+	return m.cfg.FaultService
+}
+
+// SoloStallPerCPUSecond reports the stall a single job of the given demand
+// would suffer if it were alone on this node — used when a reserved
+// workstation runs one oversized job against its own swap (Section 2.3).
+func (m *Manager) SoloStallPerCPUSecond(demandMB float64) float64 {
+	user := m.UserMB()
+	if demandMB <= user || demandMB <= 0 {
+		return 0
+	}
+	u := 1 - user/demandMB
+	const uCap = 0.97
+	if u > uCap {
+		u = uCap
+	}
+	return m.cfg.FaultScale * u / (1 - u) * m.faultService().Seconds()
+}

@@ -1,0 +1,275 @@
+// Package metrics collects and summarizes the performance measures the
+// paper reports: per-job slowdown, total execution time and its Section 5
+// breakdown, total queuing time, the average total idle memory volume
+// (sampled every second, with the paper's multi-interval insensitivity
+// check), and the average job balance skew across non-reserved
+// workstations.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"vrcluster/internal/job"
+	"vrcluster/internal/node"
+	"vrcluster/internal/stats"
+)
+
+// Sample is one periodic observation of cluster state.
+type Sample struct {
+	At       time.Duration
+	IdleMB   float64 // total idle memory across the cluster
+	Skew     float64 // stddev of active-job counts over non-reserved nodes
+	Running  int     // jobs resident on workstations
+	Pending  int     // submissions blocked cluster-wide
+	Reserved int     // workstations under reservation
+}
+
+// Collector accumulates samples and event counters during a run.
+type Collector struct {
+	interval time.Duration
+	samples  []Sample
+
+	// Event counters maintained by the cluster and policies.
+	BlockingEpisodes  int
+	Reservations      int
+	ReservationTime   time.Duration
+	ReservedMigration int // jobs migrated into reserved workstations
+	Migrations        int
+	RemoteSubmissions int
+	FailedLandings    int
+	PendingPeak       int
+	Suspensions       int
+}
+
+// DefaultSampleInterval matches the paper's 1-second collection of idle
+// memory volume and active-job counts.
+const DefaultSampleInterval = time.Second
+
+// NewCollector builds a collector sampling at the given interval.
+func NewCollector(interval time.Duration) (*Collector, error) {
+	if interval <= 0 {
+		return nil, errors.New("metrics: sample interval must be positive")
+	}
+	return &Collector{interval: interval}, nil
+}
+
+// Interval reports the sampling period.
+func (c *Collector) Interval() time.Duration { return c.interval }
+
+// Observe records one sample of the cluster's nodes at virtual time now.
+// pending is the number of submissions currently blocked cluster-wide.
+func (c *Collector) Observe(now time.Duration, nodes []*node.Node, pending int) {
+	idle := 0.0
+	running, reserved := 0, 0
+	var counts []float64
+	for _, n := range nodes {
+		idle += n.IdleMB()
+		running += n.NumJobs()
+		if n.Reserved() {
+			reserved++
+			continue
+		}
+		counts = append(counts, float64(n.NumJobs()))
+	}
+	c.samples = append(c.samples, Sample{
+		At:       now,
+		IdleMB:   idle,
+		Skew:     stats.StdDev(counts),
+		Running:  running,
+		Pending:  pending,
+		Reserved: reserved,
+	})
+}
+
+// WriteCSV emits the sample series as CSV with a header row, for external
+// plotting of a run's evolution.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "seconds,idle_mb,skew,running,pending,reserved"); err != nil {
+		return err
+	}
+	for _, s := range c.samples {
+		if _, err := fmt.Fprintf(w, "%.3f,%.3f,%.4f,%d,%d,%d\n",
+			s.At.Seconds(), s.IdleMB, s.Skew, s.Running, s.Pending, s.Reserved); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Samples returns a copy of the recorded series.
+func (c *Collector) Samples() []Sample {
+	out := make([]Sample, len(c.samples))
+	copy(out, c.samples)
+	return out
+}
+
+// AvgIdleMB averages the idle-memory series, subsampled at a multiple of
+// the base interval (every is rounded down to a whole number of base
+// samples; the paper verifies that 1 s, 10 s, 30 s, and 1 min intervals
+// yield nearly identical averages).
+func (c *Collector) AvgIdleMB(every time.Duration) (float64, error) {
+	return c.avg(every, func(s Sample) float64 { return s.IdleMB })
+}
+
+// AvgSkew averages the job-balance-skew series at the given interval.
+func (c *Collector) AvgSkew(every time.Duration) (float64, error) {
+	return c.avg(every, func(s Sample) float64 { return s.Skew })
+}
+
+func (c *Collector) avg(every time.Duration, f func(Sample) float64) (float64, error) {
+	if len(c.samples) == 0 {
+		return 0, errors.New("metrics: no samples recorded")
+	}
+	step := int(every / c.interval)
+	if step < 1 {
+		return 0, fmt.Errorf("metrics: interval %v below base %v", every, c.interval)
+	}
+	var o stats.Online
+	for i := 0; i < len(c.samples); i += step {
+		o.Add(f(c.samples[i]))
+	}
+	return o.Mean(), nil
+}
+
+// Result is the summary of one simulation run.
+type Result struct {
+	Trace  string
+	Policy string
+	Jobs   int
+
+	// Totals over all jobs (the Section 5 quantities): TotalExec is
+	// sum of per-job wall-clock execution times and decomposes into the
+	// four components.
+	TotalExec  time.Duration
+	TotalCPU   time.Duration
+	TotalPage  time.Duration
+	TotalQueue time.Duration
+	TotalMig   time.Duration
+
+	// TotalStartWait is the share of TotalQueue spent waiting for first
+	// admission (blocked submissions and remote submission latency); the
+	// remainder is round-robin CPU-sharing delay on the workstations.
+	TotalStartWait time.Duration
+
+	MeanSlowdown float64
+	MaxSlowdown  float64
+	Makespan     time.Duration // completion time of the last job
+
+	AvgIdleMB float64 // at the base 1 s interval
+	AvgSkew   float64
+
+	BlockingEpisodes  int
+	Reservations      int
+	ReservationTime   time.Duration
+	ReservedMigration int
+	Migrations        int
+	RemoteSubmissions int
+	FailedLandings    int
+	PendingPeak       int
+	Suspensions       int
+
+	collector *Collector
+}
+
+// BuildResult summarizes completed jobs plus the collector's samples. Every
+// job must be done.
+func BuildResult(traceName, policy string, jobs []*job.Job, col *Collector) (*Result, error) {
+	if len(jobs) == 0 {
+		return nil, errors.New("metrics: no jobs to summarize")
+	}
+	r := &Result{Trace: traceName, Policy: policy, Jobs: len(jobs), collector: col}
+	var slow stats.Online
+	for _, j := range jobs {
+		if j.State() != job.StateDone {
+			return nil, fmt.Errorf("metrics: job %d not done (%v)", j.ID, j.State())
+		}
+		b := j.Breakdown()
+		r.TotalCPU += b.CPU
+		r.TotalPage += b.Page
+		r.TotalQueue += b.Queue
+		r.TotalMig += b.Migration
+		w, err := j.WallTime()
+		if err != nil {
+			return nil, err
+		}
+		r.TotalExec += w
+		r.TotalStartWait += j.StartWait()
+		s, err := j.Slowdown()
+		if err != nil {
+			return nil, err
+		}
+		slow.Add(s)
+		if done, err := j.DoneAt(); err == nil && done > r.Makespan {
+			r.Makespan = done
+		}
+	}
+	r.MeanSlowdown = slow.Mean()
+	r.MaxSlowdown = slow.Max()
+	if col != nil {
+		idle, err := col.AvgIdleMB(col.Interval())
+		if err != nil {
+			return nil, err
+		}
+		r.AvgIdleMB = idle
+		skew, err := col.AvgSkew(col.Interval())
+		if err != nil {
+			return nil, err
+		}
+		r.AvgSkew = skew
+		r.BlockingEpisodes = col.BlockingEpisodes
+		r.Reservations = col.Reservations
+		r.ReservationTime = col.ReservationTime
+		r.ReservedMigration = col.ReservedMigration
+		r.Migrations = col.Migrations
+		r.RemoteSubmissions = col.RemoteSubmissions
+		r.FailedLandings = col.FailedLandings
+		r.PendingPeak = col.PendingPeak
+		r.Suspensions = col.Suspensions
+	}
+	return r, nil
+}
+
+// Collector exposes the collector for interval-insensitivity analyses.
+func (r *Result) Collector() *Collector { return r.collector }
+
+// WriteJobsCSV emits one row per completed job — its Section 5 breakdown,
+// wall time, slowdown, and migration count — for external analysis.
+func WriteJobsCSV(w io.Writer, jobs []*job.Job) error {
+	if _, err := fmt.Fprintln(w, "job,program,submit_s,wall_s,cpu_s,page_s,queue_s,migration_s,slowdown,migrations"); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		if j.State() != job.StateDone {
+			return fmt.Errorf("metrics: job %d not done (%v)", j.ID, j.State())
+		}
+		wall, err := j.WallTime()
+		if err != nil {
+			return err
+		}
+		slow, err := j.Slowdown()
+		if err != nil {
+			return err
+		}
+		b := j.Breakdown()
+		if _, err := fmt.Fprintf(w, "%d,%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.4f,%d\n",
+			j.ID, j.Program, j.SubmitAt.Seconds(), wall.Seconds(),
+			b.CPU.Seconds(), b.Page.Seconds(), b.Queue.Seconds(), b.Migration.Seconds(),
+			slow, j.Migrations()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reduction reports the relative improvement of got over base for a metric
+// extracted by f: (base - got) / base. Positive values mean got is better
+// (smaller).
+func Reduction(base, got float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - got) / base
+}

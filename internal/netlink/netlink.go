@@ -1,0 +1,139 @@
+// Package netlink simulates a shared Ethernet segment with fair
+// (processor-sharing) bandwidth allocation among concurrent transfers.
+//
+// The paper's clusters use a single 10 Mbps Ethernet; when several
+// preemptive migrations overlap, their memory-image transfers share the
+// wire. The default cluster configuration charges each migration the
+// dedicated-link cost r + D/B; enabling the shared link makes concurrent
+// transfers contend, lengthening each other exactly as a broadcast
+// medium would.
+package netlink
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vrcluster/internal/sim"
+)
+
+// transfer is one in-flight payload.
+type transfer struct {
+	id       int
+	bitsLeft float64
+	started  time.Duration
+	done     func(elapsed time.Duration)
+}
+
+// Link is a shared medium on which transfers progress at bandwidth/n.
+type Link struct {
+	engine       *sim.Engine
+	bandwidthBps float64
+
+	active     map[int]*transfer
+	seq        int
+	lastSettle time.Duration
+	nextEvent  sim.Handle
+	hasEvent   bool
+}
+
+// New builds a shared link on the engine with the given bandwidth in
+// megabits per second.
+func New(engine *sim.Engine, bandwidthMbps float64) (*Link, error) {
+	if engine == nil {
+		return nil, errors.New("netlink: nil engine")
+	}
+	if bandwidthMbps <= 0 {
+		return nil, fmt.Errorf("netlink: bandwidth %v Mbps must be positive", bandwidthMbps)
+	}
+	return &Link{
+		engine:       engine,
+		bandwidthBps: bandwidthMbps * 1e6,
+		active:       make(map[int]*transfer),
+	}, nil
+}
+
+// Active reports the number of in-flight transfers.
+func (l *Link) Active() int { return len(l.active) }
+
+// Start begins transferring dataMB megabytes. When the payload has fully
+// crossed the link, done is invoked with the elapsed wire time. Zero-size
+// payloads complete immediately (on the next event, at the current time).
+func (l *Link) Start(dataMB float64, done func(elapsed time.Duration)) error {
+	if done == nil {
+		return errors.New("netlink: nil completion callback")
+	}
+	if dataMB < 0 {
+		return fmt.Errorf("netlink: negative payload %v MB", dataMB)
+	}
+	l.settle()
+	l.seq++
+	t := &transfer{
+		id:       l.seq,
+		bitsLeft: dataMB * 8e6,
+		started:  l.engine.Now(),
+		done:     done,
+	}
+	l.active[t.id] = t
+	l.reschedule()
+	return nil
+}
+
+// settle advances every active transfer's progress to the current time
+// under fair sharing.
+func (l *Link) settle() {
+	now := l.engine.Now()
+	dt := now - l.lastSettle
+	l.lastSettle = now
+	if dt <= 0 || len(l.active) == 0 {
+		return
+	}
+	share := l.bandwidthBps / float64(len(l.active))
+	bits := share * dt.Seconds()
+	for _, t := range l.active {
+		t.bitsLeft -= bits
+		if t.bitsLeft < 0 {
+			t.bitsLeft = 0
+		}
+	}
+}
+
+// reschedule cancels the pending completion event and schedules the next
+// earliest finisher under the current sharing factor.
+func (l *Link) reschedule() {
+	if l.hasEvent {
+		l.engine.Cancel(l.nextEvent)
+		l.hasEvent = false
+	}
+	if len(l.active) == 0 {
+		return
+	}
+	var soonest *transfer
+	for _, t := range l.active {
+		if soonest == nil || t.bitsLeft < soonest.bitsLeft {
+			soonest = t
+		}
+	}
+	share := l.bandwidthBps / float64(len(l.active))
+	// Round the wait up one nanosecond so the finisher's residual bits
+	// always drain (settle clamps the overshoot at zero); truncation
+	// would otherwise reschedule a zero-delay event forever.
+	wait := time.Duration(soonest.bitsLeft/share*float64(time.Second)) + time.Nanosecond
+	l.nextEvent = l.engine.After(wait, l.completeDue)
+	l.hasEvent = true
+}
+
+// completeDue settles progress and finishes every transfer that has fully
+// crossed the wire.
+func (l *Link) completeDue() {
+	l.hasEvent = false
+	l.settle()
+	now := l.engine.Now()
+	for id, t := range l.active {
+		if t.bitsLeft <= 1e-6 {
+			delete(l.active, id)
+			t.done(now - t.started)
+		}
+	}
+	l.reschedule()
+}

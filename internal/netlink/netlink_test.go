@@ -1,0 +1,181 @@
+package netlink
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vrcluster/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 10); err == nil {
+		t.Error("nil engine should fail")
+	}
+	e := sim.NewEngine(1)
+	if _, err := New(e, 0); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+	l, err := New(e, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Start(1, nil); err == nil {
+		t.Error("nil callback should fail")
+	}
+	if err := l.Start(-1, func(time.Duration) {}); err == nil {
+		t.Error("negative payload should fail")
+	}
+}
+
+func TestSingleTransferMatchesDedicated(t *testing.T) {
+	e := sim.NewEngine(1)
+	l, err := New(e, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var elapsed time.Duration
+	// 10 MB over 10 Mbps = 8 s on a dedicated link.
+	if err := l.Start(10, func(d time.Duration) { elapsed = d }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if math.Abs(elapsed.Seconds()-8) > 1e-6 {
+		t.Errorf("elapsed = %v, want 8s", elapsed)
+	}
+	if l.Active() != 0 {
+		t.Errorf("active = %d after completion", l.Active())
+	}
+}
+
+func TestTwoConcurrentTransfersShare(t *testing.T) {
+	e := sim.NewEngine(1)
+	l, err := New(e, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b time.Duration
+	if err := l.Start(10, func(d time.Duration) { a = d }); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Start(10, func(d time.Duration) { b = d }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	// Two equal payloads sharing the wire: both finish at ~16 s.
+	if math.Abs(a.Seconds()-16) > 1e-6 || math.Abs(b.Seconds()-16) > 1e-6 {
+		t.Errorf("elapsed = %v, %v; want 16s each", a, b)
+	}
+}
+
+func TestStaggeredTransfers(t *testing.T) {
+	e := sim.NewEngine(1)
+	l, err := New(e, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, second time.Duration
+	if err := l.Start(10, func(d time.Duration) { first = d }); err != nil {
+		t.Fatal(err)
+	}
+	// Second transfer starts 4 s in, when the first is half done.
+	e.After(4*time.Second, func() {
+		if err := l.Start(10, func(d time.Duration) { second = d }); err != nil {
+			t.Error(err)
+		}
+	})
+	e.Run()
+	// First: 4 s alone (5 MB) + shares for its remaining 5 MB at 5 Mbps
+	// = 8 s more -> 12 s total. Second: shares 8 s (5 MB), then alone
+	// for its last 5 MB at 10 Mbps = 4 s -> 12 s total.
+	if math.Abs(first.Seconds()-12) > 1e-6 {
+		t.Errorf("first elapsed = %v, want 12s", first)
+	}
+	if math.Abs(second.Seconds()-12) > 1e-6 {
+		t.Errorf("second elapsed = %v, want 12s", second)
+	}
+}
+
+func TestZeroPayloadCompletesImmediately(t *testing.T) {
+	e := sim.NewEngine(1)
+	l, err := New(e, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var elapsed = time.Hour
+	if err := l.Start(0, func(d time.Duration) { elapsed = d }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if elapsed > time.Nanosecond {
+		t.Errorf("elapsed = %v, want ~0", elapsed)
+	}
+}
+
+// Property: work conservation — for any set of payloads started together,
+// the last completion time equals total bits / bandwidth, and completions
+// are ordered by payload size.
+func TestWorkConservationProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 16 {
+			sizes = sizes[:16]
+		}
+		e := sim.NewEngine(1)
+		l, err := New(e, 10)
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		finishes := make([]time.Duration, len(sizes))
+		for i, s := range sizes {
+			mb := float64(s%50) + 1
+			total += mb
+			i := i
+			if err := l.Start(mb, func(d time.Duration) { finishes[i] = d }); err != nil {
+				return false
+			}
+		}
+		e.Run()
+		var last time.Duration
+		for _, d := range finishes {
+			if d > last {
+				last = d
+			}
+		}
+		want := total * 8e6 / 10e6 // seconds
+		return math.Abs(last.Seconds()-want) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: smaller payloads started at the same instant never finish
+// after larger ones.
+func TestOrderingProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		small := float64(a%40) + 1
+		big := small + float64(b%40) + 1
+		e := sim.NewEngine(1)
+		l, err := New(e, 10)
+		if err != nil {
+			return false
+		}
+		var ds, db time.Duration
+		if err := l.Start(small, func(d time.Duration) { ds = d }); err != nil {
+			return false
+		}
+		if err := l.Start(big, func(d time.Duration) { db = d }); err != nil {
+			return false
+		}
+		e.Run()
+		return ds <= db
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+// Package network models the cluster interconnect costs of the paper's
+// Section 3.3.1: a shared Ethernet of bandwidth B, a fixed remote
+// submission/execution cost r, and a preemptive migration cost of r + D/B
+// where D is the migrated job's memory image (its working set).
+package network
+
+import (
+	"fmt"
+	"time"
+)
+
+// Model captures interconnect parameters.
+type Model struct {
+	// BandwidthMbps is B, in megabits per second.
+	BandwidthMbps float64
+	// RemoteCost is r, the fixed remote submission/execution cost.
+	RemoteCost time.Duration
+}
+
+// Default is the paper's configuration: 10 Mbps Ethernet with r = 0.1 s.
+var Default = Model{BandwidthMbps: 10, RemoteCost: 100 * time.Millisecond}
+
+// Validate rejects non-physical parameters.
+func (m Model) Validate() error {
+	if m.BandwidthMbps <= 0 {
+		return fmt.Errorf("network: bandwidth %v Mbps must be positive", m.BandwidthMbps)
+	}
+	if m.RemoteCost < 0 {
+		return fmt.Errorf("network: remote cost %v must be nonnegative", m.RemoteCost)
+	}
+	return nil
+}
+
+// TransferTime reports D/B for a payload of dataMB megabytes.
+func (m Model) TransferTime(dataMB float64) time.Duration {
+	if dataMB <= 0 {
+		return 0
+	}
+	bits := dataMB * 8e6
+	seconds := bits / (m.BandwidthMbps * 1e6)
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// MigrationCost reports r + D/B: the preemptive migration cost assuming the
+// entire memory image of the working set is transferred.
+func (m Model) MigrationCost(workingSetMB float64) time.Duration {
+	return m.RemoteCost + m.TransferTime(workingSetMB)
+}
+
+// SubmissionCost reports the remote submission cost r.
+func (m Model) SubmissionCost() time.Duration { return m.RemoteCost }
+
+// PageService reports the time to fetch one page of pageKB kilobytes from
+// a remote workstation's idle memory — the fault service time under the
+// network RAM technique ([12] in the paper). A software overhead of 0.5 ms
+// per request is charged on top of the wire time.
+func (m Model) PageService(pageKB float64) time.Duration {
+	const requestOverhead = 500 * time.Microsecond
+	return requestOverhead + m.TransferTime(pageKB/1024)
+}

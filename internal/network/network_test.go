@@ -1,0 +1,102 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	if Default.BandwidthMbps != 10 {
+		t.Errorf("B = %v Mbps, want 10", Default.BandwidthMbps)
+	}
+	if Default.RemoteCost != 100*time.Millisecond {
+		t.Errorf("r = %v, want 100ms", Default.RemoteCost)
+	}
+	if err := Default.Validate(); err != nil {
+		t.Errorf("default invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Model{BandwidthMbps: 0, RemoteCost: 0}).Validate(); err == nil {
+		t.Error("zero bandwidth should be invalid")
+	}
+	if err := (Model{BandwidthMbps: 10, RemoteCost: -1}).Validate(); err == nil {
+		t.Error("negative remote cost should be invalid")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	tests := []struct {
+		name   string
+		dataMB float64
+		want   time.Duration
+	}{
+		{"zero", 0, 0},
+		{"negative clamps", -5, 0},
+		// 10 MB = 80 Mbit over 10 Mbps = 8 s.
+		{"10MB", 10, 8 * time.Second},
+		// 100 MB working set: 80 s, dominating the fixed cost.
+		{"100MB", 100, 80 * time.Second},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Default.TransferTime(tt.dataMB); got != tt.want {
+				t.Errorf("TransferTime(%v) = %v, want %v", tt.dataMB, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMigrationCost(t *testing.T) {
+	got := Default.MigrationCost(10)
+	want := 8*time.Second + 100*time.Millisecond
+	if got != want {
+		t.Errorf("MigrationCost(10MB) = %v, want %v", got, want)
+	}
+	if Default.MigrationCost(0) != Default.SubmissionCost() {
+		t.Error("zero-byte migration should cost exactly r")
+	}
+}
+
+func TestFasterNetworkCheaperMigration(t *testing.T) {
+	fast := Model{BandwidthMbps: 1000, RemoteCost: 100 * time.Millisecond}
+	if fast.MigrationCost(100) >= Default.MigrationCost(100) {
+		t.Error("100x bandwidth should shrink migration cost")
+	}
+}
+
+// Property: migration cost is monotone in payload and always >= r.
+func TestMigrationMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		cx, cy := Default.MigrationCost(x), Default.MigrationCost(y)
+		return cx <= cy && cx >= Default.RemoteCost
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageService(t *testing.T) {
+	// One 4 KB page over 10 Mbps (decimal units, as TransferTime):
+	// 4/1024 MB * 8e6 bit/MB / 10 Mbps = 3.125 ms, plus the 0.5 ms
+	// request overhead.
+	got := Default.PageService(4)
+	want := 500*time.Microsecond + 3125*time.Microsecond
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > time.Microsecond {
+		t.Errorf("PageService(4KB) = %v, want ~%v", got, want)
+	}
+	// Faster networks page faster than the 10 ms disk.
+	if Default.PageService(4) >= 10*time.Millisecond {
+		t.Error("network RAM should beat the disk on 10 Mbps Ethernet")
+	}
+}

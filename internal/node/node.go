@@ -1,0 +1,447 @@
+// Package node models one workstation: a CPU scheduled round-robin among
+// resident jobs (the paper's intra-workstation scheduling), a job-slot
+// limit (the CPU threshold), and a memory manager whose pressure converts
+// CPU progress into paging delay. Nodes know nothing about load sharing;
+// inter-workstation policy lives above them.
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"vrcluster/internal/job"
+	"vrcluster/internal/memory"
+)
+
+// Config describes one workstation.
+type Config struct {
+	ID int
+
+	// CPUSpeedMHz is this workstation's clock; RefSpeedMHz is the clock
+	// of the machine on which job CPU demands were measured. Their ratio
+	// scales execution speed in heterogeneous clusters; both simulated
+	// homogeneous clusters use ratio 1.
+	CPUSpeedMHz float64
+	RefSpeedMHz float64
+
+	// CPUThreshold is the maximum number of job slots the CPU is willing
+	// to take.
+	CPUThreshold int
+
+	// ContextSwitch is charged per job per quantum when more than one
+	// job shares the CPU.
+	ContextSwitch time.Duration
+
+	// DiskMBps is the local disk bandwidth serving buffer-cache misses;
+	// IOCacheNeedMB is the page-cache working set an I/O-active job
+	// needs for its reads and writes to hit memory. When memory pressure
+	// squeezes the cache below that need, I/O-active jobs stall on the
+	// disk — the buffer-cache status the paper's instrumentation
+	// monitors (Section 3.1).
+	DiskMBps      float64
+	IOCacheNeedMB float64
+
+	Memory memory.Config
+}
+
+// Defaults for the workstation model.
+const (
+	// DefaultContextSwitch is the paper's 0.1 ms context switch time.
+	DefaultContextSwitch = 100 * time.Microsecond
+	// DefaultDiskMBps matches late-90s commodity disks.
+	DefaultDiskMBps = 10
+	// DefaultIOCacheNeedMB is the buffer-cache working set per
+	// I/O-active job.
+	DefaultIOCacheNeedMB = 16
+)
+
+// Validate fills defaults and rejects nonsense.
+func (c *Config) Validate() error {
+	if c.CPUSpeedMHz <= 0 {
+		return fmt.Errorf("node %d: CPU speed %v MHz must be positive", c.ID, c.CPUSpeedMHz)
+	}
+	if c.RefSpeedMHz == 0 {
+		c.RefSpeedMHz = c.CPUSpeedMHz
+	}
+	if c.RefSpeedMHz <= 0 {
+		return fmt.Errorf("node %d: reference speed %v MHz must be positive", c.ID, c.RefSpeedMHz)
+	}
+	if c.CPUThreshold <= 0 {
+		return fmt.Errorf("node %d: CPU threshold %d must be positive", c.ID, c.CPUThreshold)
+	}
+	if c.ContextSwitch == 0 {
+		c.ContextSwitch = DefaultContextSwitch
+	}
+	if c.ContextSwitch < 0 {
+		return fmt.Errorf("node %d: negative context switch %v", c.ID, c.ContextSwitch)
+	}
+	if c.DiskMBps == 0 {
+		c.DiskMBps = DefaultDiskMBps
+	}
+	if c.DiskMBps < 0 {
+		return fmt.Errorf("node %d: negative disk bandwidth %v", c.ID, c.DiskMBps)
+	}
+	if c.IOCacheNeedMB == 0 {
+		c.IOCacheNeedMB = DefaultIOCacheNeedMB
+	}
+	if c.IOCacheNeedMB < 0 {
+		return fmt.Errorf("node %d: negative cache need %v", c.ID, c.IOCacheNeedMB)
+	}
+	return nil
+}
+
+// Node is one simulated workstation.
+type Node struct {
+	cfg  Config
+	mem  *memory.Manager
+	jobs []*job.Job
+
+	reserved     bool
+	reservedJobs map[int]bool // jobs admitted under reservation (special service)
+
+	// covered records, per resident job, the virtual time up to which
+	// its execution has been accounted, so jobs admitted mid-quantum are
+	// only credited for their actual residency.
+	covered map[int]time.Duration
+
+	// incoming holds capacity (a job slot and memory demand) for
+	// migrations in flight toward this node, so the destination cannot
+	// fill up while the memory image is being transferred.
+	incoming map[int]float64
+
+	faults       float64 // cumulative page-fault count
+	cpuDelivered time.Duration
+	ioStall      time.Duration // cumulative buffer-cache-miss stall
+}
+
+// New constructs a workstation.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mem, err := memory.NewManager(cfg.Memory)
+	if err != nil {
+		return nil, fmt.Errorf("node %d: %w", cfg.ID, err)
+	}
+	return &Node{
+		cfg:          cfg,
+		mem:          mem,
+		reservedJobs: make(map[int]bool),
+		covered:      make(map[int]time.Duration),
+		incoming:     make(map[int]float64),
+	}, nil
+}
+
+// ID reports the workstation's identifier.
+func (n *Node) ID() int { return n.cfg.ID }
+
+// Config returns the validated configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// SpeedFactor is CPU speed relative to the demand-reference machine.
+func (n *Node) SpeedFactor() float64 { return n.cfg.CPUSpeedMHz / n.cfg.RefSpeedMHz }
+
+// Memory exposes the node's memory manager.
+func (n *Node) Memory() *memory.Manager { return n.mem }
+
+// NumJobs reports resident job count.
+func (n *Node) NumJobs() int { return len(n.jobs) }
+
+// Jobs returns a copy of the resident job list in round-robin order.
+func (n *Node) Jobs() []*job.Job {
+	out := make([]*job.Job, len(n.jobs))
+	copy(out, n.jobs)
+	return out
+}
+
+// HasSlot reports whether a job slot is free (CPU threshold not reached),
+// counting slots held for in-flight migrations.
+func (n *Node) HasSlot() bool { return len(n.jobs)+len(n.incoming) < n.cfg.CPUThreshold }
+
+// ExpectMigration holds a job slot and demandMB of memory for a migration
+// in flight toward this node, so capacity cannot be given away before the
+// memory image lands.
+func (n *Node) ExpectMigration(jobID int, demandMB float64) error {
+	if !n.HasSlot() {
+		return fmt.Errorf("node %d: no job slot to hold for job %d", n.cfg.ID, jobID)
+	}
+	if _, ok := n.incoming[jobID]; ok {
+		return fmt.Errorf("node %d: job %d already expected", n.cfg.ID, jobID)
+	}
+	if err := n.mem.Register(jobID, demandMB); err != nil {
+		return err
+	}
+	n.incoming[jobID] = demandMB
+	return nil
+}
+
+// CancelExpected releases a hold placed by ExpectMigration (the migration
+// was retargeted or abandoned).
+func (n *Node) CancelExpected(jobID int) error {
+	if _, ok := n.incoming[jobID]; !ok {
+		return fmt.Errorf("node %d: job %d not expected", n.cfg.ID, jobID)
+	}
+	delete(n.incoming, jobID)
+	return n.mem.Remove(jobID)
+}
+
+// ExpectedCount reports migrations currently in flight toward this node.
+func (n *Node) ExpectedCount() int { return len(n.incoming) }
+
+// IdleMB reports idle user memory.
+func (n *Node) IdleMB() float64 { return n.mem.IdleMB() }
+
+// Pressured reports whether memory demand exceeds user memory.
+func (n *Node) Pressured() bool { return n.mem.Pressured() }
+
+// Reserved reports whether the node is under a virtual reconfiguration
+// reservation (no normal submissions or migrations allowed in).
+func (n *Node) Reserved() bool { return n.reserved }
+
+// SetReserved flips the reservation flag.
+func (n *Node) SetReserved(v bool) { n.reserved = v }
+
+// ReservedJobCount reports how many resident jobs were admitted as special
+// service under the reservation.
+func (n *Node) ReservedJobCount() int {
+	c := 0
+	for _, j := range n.jobs {
+		if n.reservedJobs[j.ID] {
+			c++
+		}
+	}
+	return c
+}
+
+// Faults reports cumulative page faults serviced on this node.
+func (n *Node) Faults() float64 { return n.faults }
+
+// IOStall reports cumulative disk stall from buffer-cache misses.
+func (n *Node) IOStall() time.Duration { return n.ioStall }
+
+// IOActiveJobs reports resident jobs with nonzero I/O rates — the I/O
+// load status the load index publishes.
+func (n *Node) IOActiveJobs() int {
+	c := 0
+	for _, j := range n.jobs {
+		if j.IORate() > 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// CacheAvailability reports how much of the buffer-cache working set the
+// node's I/O-active jobs can keep in memory, in [0, 1]. With no I/O-active
+// jobs the cache is trivially sufficient.
+func (n *Node) CacheAvailability() float64 {
+	need := n.cfg.IOCacheNeedMB * float64(n.IOActiveJobs())
+	if need <= 0 {
+		return 1
+	}
+	avail := n.mem.IdleMB() / need
+	if avail > 1 {
+		return 1
+	}
+	return avail
+}
+
+// CPUDelivered reports cumulative CPU service delivered to jobs,
+// in demand-reference seconds.
+func (n *Node) CPUDelivered() time.Duration { return n.cpuDelivered }
+
+// Admit starts a newly submitted job on this node at time now.
+func (n *Node) Admit(j *job.Job, now time.Duration) error {
+	if !n.HasSlot() {
+		return fmt.Errorf("node %d: no job slot for job %d", n.cfg.ID, j.ID)
+	}
+	if err := j.Start(n.cfg.ID, now); err != nil {
+		return err
+	}
+	if err := n.mem.Register(j.ID, j.MemoryDemandMB()); err != nil {
+		return err
+	}
+	n.jobs = append(n.jobs, j)
+	n.covered[j.ID] = now
+	return nil
+}
+
+// AttachMigrated lands a migrating job on this node at time now, charging
+// the given migration cost, optionally as reservation special service. A
+// hold previously placed with ExpectMigration is consumed if present.
+func (n *Node) AttachMigrated(j *job.Job, cost time.Duration, special bool, now time.Duration) error {
+	_, held := n.incoming[j.ID]
+	if !held && !n.HasSlot() {
+		return fmt.Errorf("node %d: no job slot for migrated job %d", n.cfg.ID, j.ID)
+	}
+	if err := j.CompleteMigration(n.cfg.ID, cost); err != nil {
+		return err
+	}
+	if held {
+		delete(n.incoming, j.ID)
+		if err := n.mem.Update(j.ID, j.MemoryDemandMB()); err != nil {
+			return err
+		}
+	} else if err := n.mem.Register(j.ID, j.MemoryDemandMB()); err != nil {
+		return err
+	}
+	n.jobs = append(n.jobs, j)
+	n.covered[j.ID] = now
+	if special {
+		n.reservedJobs[j.ID] = true
+	}
+	return nil
+}
+
+// Detach removes a job for migration away at virtual time now, freezing
+// it. Any residency interval not yet covered by a quantum tick is settled
+// as queuing delay so the Section 5 time decomposition stays exact.
+func (n *Node) Detach(j *job.Job, now time.Duration) error {
+	idx := -1
+	for i, r := range n.jobs {
+		if r.ID == j.ID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("node %d: job %d not resident", n.cfg.ID, j.ID)
+	}
+	if from, ok := n.covered[j.ID]; ok && now > from {
+		if _, err := j.Account(0, 0, now-from, now); err != nil {
+			return err
+		}
+	}
+	if err := j.BeginMigration(now); err != nil {
+		return err
+	}
+	if err := n.mem.Remove(j.ID); err != nil {
+		return err
+	}
+	n.jobs = append(n.jobs[:idx], n.jobs[idx+1:]...)
+	delete(n.reservedJobs, j.ID)
+	delete(n.covered, j.ID)
+	return nil
+}
+
+// MostMemoryIntensiveJob returns the resident job with the largest current
+// memory demand (the reconfiguration routine's find_most_memory_intensive_
+// job()), or nil when the node is empty. Ties break toward the job that has
+// been resident longest (lowest index), matching the paper's observation
+// that long-stayed jobs are predicted to stay longer.
+func (n *Node) MostMemoryIntensiveJob() *job.Job {
+	var best *job.Job
+	bestDemand := -1.0
+	for _, j := range n.jobs {
+		if d := j.MemoryDemandMB(); d > bestDemand {
+			best = j
+			bestDemand = d
+		}
+	}
+	return best
+}
+
+// Tick advances the workstation by one scheduling quantum dt ending at
+// virtual time now. Runnable jobs share the CPU round-robin: each receives
+// an equal share of the quantum, loses context-switch overhead when
+// multiprogrammed, and converts execution time into CPU progress at the
+// node's speed factor, degraded by the memory manager's current paging
+// stall. Completed jobs are removed and returned.
+func (n *Node) Tick(dt time.Duration, now time.Duration) ([]*job.Job, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("node %d: nonpositive quantum %v", n.cfg.ID, dt)
+	}
+	count := len(n.jobs)
+	if count == 0 {
+		return nil, nil
+	}
+
+	share := dt / time.Duration(count)
+	overhead := time.Duration(0)
+	if count > 1 {
+		overhead = n.cfg.ContextSwitch
+	}
+	exec := share - overhead
+	if exec < 0 {
+		exec = 0
+	}
+
+	v := n.SpeedFactor()
+	stall := n.mem.StallPerCPUSecond() // wall seconds of paging per CPU second
+	// Buffer-cache squeeze: when idle memory cannot hold the I/O-active
+	// jobs' cache working sets, their reads and writes go to the disk.
+	cacheMiss := 1 - n.CacheAvailability()
+
+	var done []*job.Job
+	for _, j := range n.jobs {
+		// Credit only the portion of the quantum the job was actually
+		// resident for (it may have been admitted mid-quantum).
+		resid := dt
+		if from, ok := n.covered[j.ID]; ok {
+			lo := now - dt
+			if from > lo {
+				resid = now - from
+			}
+		}
+		n.covered[j.ID] = now
+		if resid <= 0 {
+			continue
+		}
+		execHere := exec
+		if execHere > resid {
+			execHere = resid
+		}
+		// In execution wall time w the job splits between compute
+		// (cpu/v), paging (cpu*stall), and buffer-cache-miss disk time
+		// (cpu*ioStall): cpu = w / (1/v + stall + ioStall).
+		ioStall := 0.0
+		if rate := j.IORate(); rate > 0 && cacheMiss > 0 && n.cfg.DiskMBps > 0 {
+			ioStall = rate / n.cfg.DiskMBps * cacheMiss
+		}
+		execSec := execHere.Seconds()
+		cpuSec := execSec / (1/v + stall + ioStall)
+		cpu := time.Duration(cpuSec * float64(time.Second))
+		if rem := j.Remaining(); cpu >= rem {
+			cpu = rem
+		}
+		computeWall := time.Duration(float64(cpu) / v)
+		// Both paging and cache-miss disk time are memory-pressure-
+		// induced I/O waits; the Section 5 decomposition folds them into
+		// the paging component.
+		page := time.Duration(float64(cpu) * (stall + ioStall))
+		queue := resid - computeWall - page
+		if queue < 0 {
+			queue = 0
+		}
+		finished, err := j.Account(cpu, page, queue, now)
+		if err != nil {
+			return nil, err
+		}
+		n.faults += float64(cpu) / float64(time.Second) * n.mem.FaultRate()
+		n.ioStall += time.Duration(float64(cpu) * ioStall)
+		n.cpuDelivered += cpu
+		if finished {
+			done = append(done, j)
+			if err := n.mem.Remove(j.ID); err != nil {
+				return nil, err
+			}
+			delete(n.reservedJobs, j.ID)
+			delete(n.covered, j.ID)
+			continue
+		}
+		// Demand evolves with progress; refresh the memory manager.
+		if err := n.mem.Update(j.ID, j.MemoryDemandMB()); err != nil {
+			return nil, err
+		}
+	}
+	if len(done) > 0 {
+		alive := n.jobs[:0]
+		for _, j := range n.jobs {
+			if j.State() != job.StateDone {
+				alive = append(alive, j)
+			}
+		}
+		n.jobs = alive
+	}
+	return done, nil
+}

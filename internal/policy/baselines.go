@@ -1,0 +1,157 @@
+package policy
+
+import (
+	"time"
+
+	"vrcluster/internal/cluster"
+	"vrcluster/internal/job"
+	"vrcluster/internal/node"
+)
+
+// NoSharing schedules every job on its home workstation, waiting for a job
+// slot when the CPU threshold is reached and ignoring memory entirely —
+// the conventional multiprogrammed workstation with no inter-workstation
+// scheduling.
+type NoSharing struct{}
+
+var _ cluster.Scheduler = (*NoSharing)(nil)
+
+// Name implements cluster.Scheduler.
+func (NoSharing) Name() string { return "No-Loadsharing" }
+
+// Place implements cluster.Scheduler.
+func (NoSharing) Place(c *cluster.Cluster, j *job.Job, home int) (int, bool, bool) {
+	e, err := c.Board().Entry(home)
+	if err != nil || !e.HasSlot {
+		return -1, false, false
+	}
+	return home, false, true
+}
+
+// OnControl implements cluster.Scheduler.
+func (NoSharing) OnControl(*cluster.Cluster, time.Duration) {}
+
+// OnJobDone implements cluster.Scheduler.
+func (NoSharing) OnJobDone(*cluster.Cluster, *node.Node, *job.Job) {}
+
+// CPUSharing balances the number of jobs across workstations and ignores
+// memory, in the tradition of job-count-based load sharing (e.g. Utopia
+// and the lifetime-based schemes the paper's Section 1 cites).
+type CPUSharing struct{}
+
+var _ cluster.Scheduler = (*CPUSharing)(nil)
+
+// Name implements cluster.Scheduler.
+func (CPUSharing) Name() string { return "CPU-Loadsharing" }
+
+// Place implements cluster.Scheduler.
+func (CPUSharing) Place(c *cluster.Cluster, j *job.Job, home int) (int, bool, bool) {
+	board := c.Board()
+	bestID, bestJobs, found := -1, 0, false
+	for _, e := range board.Entries() {
+		if e.Reserved || !e.HasSlot {
+			continue
+		}
+		if !found || e.Jobs < bestJobs {
+			bestID, bestJobs, found = e.NodeID, e.Jobs, true
+		}
+	}
+	if !found {
+		return -1, false, false
+	}
+	return bestID, bestID != home, true
+}
+
+// OnControl implements cluster.Scheduler.
+func (CPUSharing) OnControl(*cluster.Cluster, time.Duration) {}
+
+// OnJobDone implements cluster.Scheduler.
+func (CPUSharing) OnJobDone(*cluster.Cluster, *node.Node, *job.Job) {}
+
+// Suspension is G-Loadsharing plus the simple blocking response the paper
+// rejects as unfair (Section 1): when the blocking problem is detected,
+// the most memory-intensive job is suspended — releasing its memory and
+// job slot — and resumed only when a workstation can hold its whole
+// demand again. Suspended time counts as queuing delay.
+type Suspension struct {
+	gls       *GLoadSharing
+	suspended []*suspendedJob
+}
+
+type suspendedJob struct {
+	j     *job.Job
+	since time.Duration
+}
+
+var _ cluster.Scheduler = (*Suspension)(nil)
+
+// NewSuspension builds the suspension baseline.
+func NewSuspension() *Suspension {
+	s := &Suspension{gls: NewGLoadSharing()}
+	s.gls.SetName("Suspension")
+	s.gls.OnBlocked = s.onBlocked
+	return s
+}
+
+// Name implements cluster.Scheduler.
+func (s *Suspension) Name() string { return s.gls.Name() }
+
+// Place implements cluster.Scheduler.
+func (s *Suspension) Place(c *cluster.Cluster, j *job.Job, home int) (int, bool, bool) {
+	return s.gls.Place(c, j, home)
+}
+
+// OnControl first runs the load-sharing control loop (which may suspend
+// via the blocking hook), then tries to resume suspended jobs in FIFO
+// order wherever their full demand now fits.
+func (s *Suspension) OnControl(c *cluster.Cluster, now time.Duration) {
+	s.gls.OnControl(c, now)
+	if len(s.suspended) == 0 {
+		return
+	}
+	board := c.Board()
+	remaining := s.suspended[:0]
+	for _, sj := range s.suspended {
+		if now > sj.since {
+			_ = sj.j.AddFrozenQueue(now - sj.since)
+			sj.since = now
+		}
+		id, ok := board.BestDestination(sj.j.MemoryDemandMB(), nil)
+		if !ok {
+			remaining = append(remaining, sj)
+			continue
+		}
+		n, err := c.Node(id)
+		if err != nil {
+			remaining = append(remaining, sj)
+			continue
+		}
+		// Resuming from local swap costs no network transfer; the
+		// suspension wait itself carried the penalty.
+		if err := n.AttachMigrated(sj.j, 0, false, now); err != nil {
+			remaining = append(remaining, sj)
+			continue
+		}
+		_ = board.NotePlacement(id, sj.j.MemoryDemandMB())
+	}
+	s.suspended = remaining
+}
+
+// OnJobDone implements cluster.Scheduler.
+func (s *Suspension) OnJobDone(c *cluster.Cluster, n *node.Node, j *job.Job) {
+	s.gls.OnJobDone(c, n, j)
+}
+
+// SuspendedCount reports jobs currently frozen by suspension.
+func (s *Suspension) SuspendedCount() int { return len(s.suspended) }
+
+func (s *Suspension) onBlocked(c *cluster.Cluster, now time.Duration, src *node.Node, victim *job.Job) {
+	if victim.State() != job.StateRunning {
+		return
+	}
+	if err := src.Detach(victim, now); err != nil {
+		return
+	}
+	c.Collector().Suspensions++
+	s.suspended = append(s.suspended, &suspendedJob{j: victim, since: now})
+}

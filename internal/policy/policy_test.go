@@ -1,0 +1,291 @@
+package policy_test
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"vrcluster/internal/cluster"
+	"vrcluster/internal/job"
+	"vrcluster/internal/memory"
+	"vrcluster/internal/node"
+	"vrcluster/internal/policy"
+	"vrcluster/internal/trace"
+	"vrcluster/internal/workload"
+)
+
+func testCluster(t *testing.T, nodes int, sched cluster.Scheduler) *cluster.Cluster {
+	t.Helper()
+	cfg := cluster.Homogeneous(nodes, node.Config{
+		CPUSpeedMHz:  233,
+		CPUThreshold: 4,
+		Memory:       memory.Config{CapacityMB: 128, UserFraction: 1},
+	})
+	cfg.Quantum = 10 * time.Millisecond
+	cfg.MaxVirtualTime = 4 * time.Hour
+	c, err := cluster.New(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func item(at time.Duration, program string, cpu time.Duration, ws float64, home int) trace.Item {
+	return trace.Item{
+		SubmitMillis: at.Milliseconds(),
+		Program:      program,
+		CPUMillis:    cpu.Milliseconds(),
+		WorkingSetMB: ws,
+		Home:         home,
+	}
+}
+
+func buildTrace(nodes int, items ...trace.Item) *trace.Trace {
+	sort.SliceStable(items, func(i, j int) bool { return items[i].SubmitMillis < items[j].SubmitMillis })
+	var maxAt int64
+	for _, it := range items {
+		if it.SubmitMillis > maxAt {
+			maxAt = it.SubmitMillis
+		}
+	}
+	return &trace.Trace{
+		Name:           "policy-test",
+		Group:          workload.Group2,
+		DurationMillis: maxAt + 1000,
+		Nodes:          nodes,
+		Items:          items,
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	tests := []struct {
+		sched cluster.Scheduler
+		want  string
+	}{
+		{policy.NewGLoadSharing(), "G-Loadsharing"},
+		{policy.NoSharing{}, "No-Loadsharing"},
+		{policy.CPUSharing{}, "CPU-Loadsharing"},
+		{policy.NewSuspension(), "Suspension"},
+	}
+	for _, tt := range tests {
+		if got := tt.sched.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+	g := policy.NewGLoadSharing()
+	g.SetName("custom")
+	if g.Name() != "custom" {
+		t.Error("SetName ignored")
+	}
+	var zero policy.GLoadSharing
+	if zero.Name() != "G-Loadsharing" {
+		t.Error("zero-value name fallback broken")
+	}
+}
+
+func TestGLoadSharingPrefersHome(t *testing.T) {
+	g := policy.NewGLoadSharing()
+	c := testCluster(t, 3, g)
+	tr := buildTrace(3, item(0, "m-m", 10*time.Second, 25, 1))
+	res, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteSubmissions != 0 {
+		t.Error("idle home workstation should take the job locally")
+	}
+}
+
+func TestGLoadSharingAdmissionFloor(t *testing.T) {
+	// The home node's idle memory sits below the floor; the job must be
+	// submitted remotely even though its (unknown) demand would fit.
+	g := policy.NewGLoadSharing()
+	g.AdmitFloorFrac = 0.5 // 64 MB floor on 128 MB nodes
+	c := testCluster(t, 2, g)
+	tr := buildTrace(2,
+		item(0, "m-sort", 30*time.Second, 43, 0),
+		item(0, "m-sort", 30*time.Second, 43, 0),
+		// Home 0 now holds ~60 MB of bookings: idle ~68 > 64, third
+		// fills it below the floor.
+		item(time.Second, "m-sort", 30*time.Second, 43, 0),
+		item(2*time.Second, "bit-r", 30*time.Second, 24, 0),
+	)
+	res, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteSubmissions == 0 {
+		t.Error("floor should force remote submission from the packed home")
+	}
+}
+
+func TestGLoadSharingBlockedWithoutDestination(t *testing.T) {
+	// One node, no escape: the overgrown job has no destination, so the
+	// blocking hook must fire.
+	g := policy.NewGLoadSharing()
+	fired := 0
+	g.OnBlocked = func(c *cluster.Cluster, now time.Duration, src *node.Node, victim *job.Job) {
+		fired++
+		if victim == nil || src == nil {
+			t.Error("blocking hook with nil arguments")
+		}
+	}
+	c := testCluster(t, 1, g)
+	tr := buildTrace(1,
+		item(0, "metis", 60*time.Second, 87, 0),
+		item(0, "metis", 60*time.Second, 87, 0),
+	)
+	res, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired == 0 || res.BlockingEpisodes == 0 {
+		t.Errorf("blocking never detected (hook %d, episodes %d)", fired, res.BlockingEpisodes)
+	}
+	if res.Migrations != 0 {
+		t.Error("no migration should be possible on a single node")
+	}
+}
+
+func TestGLoadSharingCooldownLimitsMigrations(t *testing.T) {
+	run := func(cooldown time.Duration) int {
+		g := policy.NewGLoadSharing()
+		g.NodeCooldown = cooldown
+		g.MaxJobMigrations = 100
+		c := testCluster(t, 4, g)
+		tr := buildTrace(4,
+			item(0, "metis", 120*time.Second, 87, 0),
+			item(0, "metis", 120*time.Second, 87, 0),
+		)
+		res, err := c.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Migrations
+	}
+	lazy := run(time.Hour)
+	if lazy > 1 {
+		t.Errorf("hour-long cooldown allowed %d migrations from one episode", lazy)
+	}
+}
+
+func TestGLoadSharingJobMigrationCap(t *testing.T) {
+	g := policy.NewGLoadSharing()
+	g.MaxJobMigrations = 1
+	c := testCluster(t, 4, g)
+	tr := buildTrace(4,
+		item(0, "metis", 120*time.Second, 87, 0),
+		item(0, "metis", 120*time.Second, 87, 0),
+		item(0, "metis", 120*time.Second, 87, 1),
+	)
+	res, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations > 3 {
+		t.Errorf("per-job cap of 1 exceeded: %d migrations for 3 jobs", res.Migrations)
+	}
+}
+
+func TestOnDoneHook(t *testing.T) {
+	g := policy.NewGLoadSharing()
+	done := 0
+	g.OnDone = func(*cluster.Cluster, *node.Node, *job.Job) { done++ }
+	c := testCluster(t, 2, g)
+	tr := buildTrace(2,
+		item(0, "bit-r", 10*time.Second, 24, 0),
+		item(0, "bit-r", 10*time.Second, 24, 1),
+	)
+	if _, err := c.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	if done != 2 {
+		t.Errorf("OnDone fired %d times, want 2", done)
+	}
+}
+
+func TestSuspensionResumesEverything(t *testing.T) {
+	s := policy.NewSuspension()
+	c := testCluster(t, 2, s)
+	tr := buildTrace(2,
+		item(0, "metis", 60*time.Second, 87, 0),
+		item(0, "metis", 60*time.Second, 87, 0),
+		item(0, "metis", 60*time.Second, 87, 1),
+		item(0, "metis", 60*time.Second, 87, 1),
+	)
+	res, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 4 {
+		t.Fatalf("completed %d of 4", res.Jobs)
+	}
+	if res.Suspensions == 0 {
+		t.Error("wedged pair of nodes should trigger suspension")
+	}
+	if s.SuspendedCount() != 0 {
+		t.Errorf("%d jobs left suspended", s.SuspendedCount())
+	}
+}
+
+func TestSuspensionChargesQueueTime(t *testing.T) {
+	s := policy.NewSuspension()
+	c := testCluster(t, 1, s)
+	tr := buildTrace(1,
+		item(0, "metis", 60*time.Second, 87, 0),
+		item(0, "metis", 60*time.Second, 87, 0),
+	)
+	res, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suspensions > 0 && res.TotalQueue == 0 {
+		t.Error("suspension time should surface as queuing delay")
+	}
+	// Decomposition must still hold despite freeze/resume cycles.
+	if res.TotalExec != res.TotalCPU+res.TotalPage+res.TotalQueue+res.TotalMig {
+		t.Error("Section 5 identity violated under suspension")
+	}
+}
+
+func TestNoSharingWaitsForHomeSlot(t *testing.T) {
+	c := testCluster(t, 2, policy.NoSharing{})
+	var items []trace.Item
+	for i := 0; i < 6; i++ { // 6 jobs on one node with 4 slots
+		items = append(items, item(0, "bit-r", 10*time.Second, 24, 0))
+	}
+	res, err := c.Run(buildTrace(2, items...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 6 {
+		t.Fatalf("completed %d of 6", res.Jobs)
+	}
+	if res.PendingPeak < 2 {
+		t.Errorf("pending peak = %d, want >= 2 (two jobs over the slot limit)", res.PendingPeak)
+	}
+	if res.RemoteSubmissions != 0 {
+		t.Error("no-sharing must not move work")
+	}
+}
+
+func TestCPUSharingIgnoresMemory(t *testing.T) {
+	c := testCluster(t, 2, policy.CPUSharing{})
+	// Two oversized jobs: CPU sharing spreads them by count, one each.
+	tr := buildTrace(2,
+		item(0, "metis", 30*time.Second, 87, 0),
+		item(0, "metis", 30*time.Second, 87, 0),
+		item(0, "metis", 30*time.Second, 87, 0),
+	)
+	res, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 3 {
+		t.Fatalf("completed %d of 3", res.Jobs)
+	}
+	// The third job overcommits whichever node it lands on: paging.
+	if res.TotalPage == 0 {
+		t.Error("memory-blind placement should cause paging")
+	}
+}

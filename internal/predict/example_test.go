@@ -1,0 +1,23 @@
+package predict_test
+
+import (
+	"fmt"
+	"time"
+
+	"vrcluster/internal/predict"
+)
+
+// Example shows the heavy-tailed lifetime rule the reconfiguration manager
+// uses: a job that has run for 80 seconds is predicted to run ~80 more, so
+// freezing it for a 40-second memory transfer is worthwhile.
+func Example() {
+	age := 80 * time.Second
+	cost := 40 * time.Second
+	fmt.Printf("median remaining: %v\n", predict.Default.MedianRemaining(age))
+	fmt.Printf("survives the transfer with p = %.2f\n", predict.Default.SurvivalBeyond(age, cost))
+	fmt.Printf("worth paying: %v\n", predict.Default.WorthPaying(age, cost, 1))
+	// Output:
+	// median remaining: 1m20s
+	// survives the transfer with p = 0.67
+	// worth paying: true
+}

@@ -1,0 +1,109 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Estimator{Alpha: 0}).Validate(); err == nil {
+		t.Error("alpha 0 should be invalid")
+	}
+	if err := (Estimator{Alpha: -1}).Validate(); err == nil {
+		t.Error("negative alpha should be invalid")
+	}
+}
+
+func TestSurvivalBeyond(t *testing.T) {
+	e := Default
+	tests := []struct {
+		age, extra time.Duration
+		want       float64
+	}{
+		{10 * time.Second, 0, 1},                   // no extra time: certain
+		{0, time.Second, 0},                        // no history: no claim
+		{10 * time.Second, 10 * time.Second, 0.5},  // alpha=1: halves at age
+		{10 * time.Second, 30 * time.Second, 0.25}, // 10/40
+	}
+	for _, tt := range tests {
+		if got := e.SurvivalBeyond(tt.age, tt.extra); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("SurvivalBeyond(%v, %v) = %v, want %v", tt.age, tt.extra, got, tt.want)
+		}
+	}
+	// Heavier tail (smaller alpha) means higher survival.
+	heavy := Estimator{Alpha: 0.5}
+	if heavy.SurvivalBeyond(10*time.Second, 10*time.Second) <= e.SurvivalBeyond(10*time.Second, 10*time.Second) {
+		t.Error("heavier tail should survive longer")
+	}
+}
+
+func TestMedianRemaining(t *testing.T) {
+	// Alpha = 1: a job is expected to run as long again as it has.
+	if got := Default.MedianRemaining(40 * time.Second); got != 40*time.Second {
+		t.Errorf("median remaining = %v, want 40s", got)
+	}
+	if Default.MedianRemaining(0) != 0 {
+		t.Error("ageless job should have zero median remaining")
+	}
+	// Alpha = 2 shortens the tail: 2^(1/2)-1 of age.
+	e2 := Estimator{Alpha: 2}
+	age := 40 * time.Second
+	want := time.Duration(float64(age) * (math.Sqrt2 - 1))
+	if got := e2.MedianRemaining(age); got != want {
+		t.Errorf("alpha=2 median remaining = %v, want %v", got, want)
+	}
+}
+
+func TestWorthPaying(t *testing.T) {
+	e := Default
+	cost := 100 * time.Second
+	if e.WorthPaying(49*time.Second, cost, 0.5) {
+		t.Error("too-young job accepted")
+	}
+	if !e.WorthPaying(50*time.Second, cost, 0.5) {
+		t.Error("old-enough job rejected")
+	}
+	if !e.WorthPaying(0, 0, 0.5) {
+		t.Error("zero cost should always be worth paying")
+	}
+	if !e.WorthPaying(0, cost, 0) {
+		t.Error("zero patience should always accept")
+	}
+}
+
+// Property: survival is monotone — decreasing in extra, increasing in age.
+func TestSurvivalMonotoneProperty(t *testing.T) {
+	f := func(age, e1, e2 uint16) bool {
+		a := time.Duration(age)*time.Second + time.Second
+		x, y := time.Duration(e1)*time.Second, time.Duration(e2)*time.Second
+		if x > y {
+			x, y = y, x
+		}
+		if Default.SurvivalBeyond(a, x) < Default.SurvivalBeyond(a, y) {
+			return false
+		}
+		// Older jobs survive a fixed extra at least as well.
+		return Default.SurvivalBeyond(a+time.Minute, y) >= Default.SurvivalBeyond(a, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the median is consistent with the survival function.
+func TestMedianConsistencyProperty(t *testing.T) {
+	f := func(age uint16) bool {
+		a := time.Duration(age)*time.Second + time.Second
+		m := Default.MedianRemaining(a)
+		s := Default.SurvivalBeyond(a, m)
+		return math.Abs(s-0.5) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

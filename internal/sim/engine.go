@@ -1,0 +1,223 @@
+// Package sim implements the discrete-event simulation engine underlying the
+// cluster simulator: a virtual clock, a binary-heap event queue with
+// deterministic FIFO tie-breaking, and a seeded random source. All simulated
+// components schedule callbacks on an Engine; nothing in the simulator reads
+// the wall clock, so a run is fully determined by its inputs and seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrClockRegression is returned when an event is scheduled before the
+// current virtual time.
+var ErrClockRegression = errors.New("sim: event scheduled in the past")
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	seq uint64
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; the simulated cluster is driven from one goroutine and
+// parallelism across simulations is achieved by running independent Engines.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	pending map[uint64]*event
+	rng     *rand.Rand
+	stopped bool
+}
+
+// NewEngine returns an engine with its clock at zero and a random source
+// seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		pending: make(map[uint64]*event),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand exposes the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Len reports the number of scheduled, uncancelled events.
+func (e *Engine) Len() int { return len(e.pending) }
+
+// Schedule runs fn at absolute virtual time at. Events scheduled for the
+// same instant run in scheduling order. Scheduling in the past returns
+// ErrClockRegression.
+func (e *Engine) Schedule(at time.Duration, fn func()) (Handle, error) {
+	if at < e.now {
+		return Handle{}, ErrClockRegression
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	e.pending[ev.seq] = ev
+	return Handle{seq: ev.seq}, nil
+}
+
+// After runs fn after delay d from the current virtual time. Negative delays
+// are clamped to zero.
+func (e *Engine) After(d time.Duration, fn func()) Handle {
+	if d < 0 {
+		d = 0
+	}
+	h, _ := e.Schedule(e.now+d, fn) // future by construction; cannot fail
+	return h
+}
+
+// Cancel removes a scheduled event. It reports whether the event was still
+// pending.
+func (e *Engine) Cancel(h Handle) bool {
+	ev, ok := e.pending[h.seq]
+	if !ok {
+		return false
+	}
+	ev.cancelled = true
+	delete(e.pending, h.seq)
+	return true
+}
+
+// Step executes the next pending event, advancing the clock to its time. It
+// reports whether an event ran.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		delete(e.pending, ev.seq)
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= deadline, then advances the clock to
+// the deadline (if it is later than the last event executed).
+func (e *Engine) RunUntil(deadline time.Duration) {
+	e.stopped = false
+	for !e.stopped {
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Stop makes the current Run or RunUntil return after the in-flight event
+// completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) peek() (time.Duration, bool) {
+	for e.queue.Len() > 0 {
+		if e.queue[0].cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0].at, true
+	}
+	return 0, false
+}
+
+// Ticker invokes a callback at a fixed virtual period until stopped. It is
+// the building block for quantum ticks and periodic load-information
+// exchange.
+type Ticker struct {
+	engine  *Engine
+	period  time.Duration
+	fn      func()
+	handle  Handle
+	stopped bool
+}
+
+// NewTicker schedules fn every period, with the first invocation one period
+// from now. Period must be positive.
+func NewTicker(e *Engine, period time.Duration, fn func()) (*Ticker, error) {
+	if period <= 0 {
+		return nil, errors.New("sim: ticker period must be positive")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.handle = e.After(period, t.tick)
+	return t, nil
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.handle = t.engine.After(t.period, t.tick)
+	}
+}
+
+// Stop cancels future invocations.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.engine.Cancel(t.handle)
+}

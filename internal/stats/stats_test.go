@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "empty", give: nil, want: 0},
+		{name: "single", give: []float64{7}, want: 7},
+		{name: "pair", give: []float64{2, 4}, want: 3},
+		{name: "negatives", give: []float64{-1, 1, -3, 3}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.give); got != tt.want {
+				t.Errorf("Mean(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "empty", give: nil, want: 0},
+		{name: "single", give: []float64{5}, want: 0},
+		{name: "constant", give: []float64{3, 3, 3}, want: 0},
+		{name: "spread", give: []float64{2, 4, 4, 4, 5, 5, 7, 9}, want: 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := StdDev(tt.give); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("StdDev(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	mn, err := Min(xs)
+	if err != nil || mn != -1 {
+		t.Errorf("Min = %v, %v; want -1, nil", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 7 {
+		t.Errorf("Max = %v, %v; want 7, nil", mx, err)
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Errorf("Min(nil) error = %v, want ErrEmpty", err)
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Errorf("Max(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{50, 3},
+		{100, 5},
+		{25, 2},
+		{75, 4},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v) error: %v", tt.p, err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("Percentile(nil) error = %v, want ErrEmpty", err)
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("Percentile(101) should error")
+	}
+	// Percentile must not reorder the caller's slice.
+	ys := []float64{5, 1, 3}
+	if _, err := Percentile(ys, 50); err != nil {
+		t.Fatal(err)
+	}
+	if ys[0] != 5 || ys[1] != 1 || ys[2] != 3 {
+		t.Errorf("Percentile mutated input: %v", ys)
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	if o.N() != len(xs) {
+		t.Errorf("N = %d, want %d", o.N(), len(xs))
+	}
+	if math.Abs(o.Mean()-Mean(xs)) > 1e-12 {
+		t.Errorf("online mean %v != batch %v", o.Mean(), Mean(xs))
+	}
+	if math.Abs(o.StdDev()-StdDev(xs)) > 1e-12 {
+		t.Errorf("online stddev %v != batch %v", o.StdDev(), StdDev(xs))
+	}
+	if o.Min() != 2 || o.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", o.Min(), o.Max())
+	}
+}
+
+func TestOnlineZeroValue(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.StdDev() != 0 || o.N() != 0 {
+		t.Error("zero-value Online should report zeros")
+	}
+	o.Add(3)
+	if o.StdDev() != 0 {
+		t.Error("single observation should have zero stddev")
+	}
+}
+
+// Property: online accumulation agrees with batch computation on arbitrary
+// inputs.
+func TestOnlineProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		var o Online
+		for _, x := range xs {
+			o.Add(x)
+		}
+		return math.Abs(o.Mean()-Mean(xs)) < 1e-6 &&
+			math.Abs(o.StdDev()-StdDev(xs)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLognormalPDF(t *testing.T) {
+	l := Lognormal{Mu: 0, Sigma: 1}
+	if got := l.PDF(-1); got != 0 {
+		t.Errorf("PDF(-1) = %v, want 0", got)
+	}
+	if got := l.PDF(0); got != 0 {
+		t.Errorf("PDF(0) = %v, want 0", got)
+	}
+	// Standard lognormal density at t=1 is 1/sqrt(2*pi).
+	want := 1 / math.Sqrt(2*math.Pi)
+	if got := l.PDF(1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PDF(1) = %v, want %v", got, want)
+	}
+}
+
+func TestLognormalCDF(t *testing.T) {
+	l := Lognormal{Mu: 2, Sigma: 0.5}
+	if got := l.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %v, want 0", got)
+	}
+	// CDF at the median exp(mu) must be exactly one half.
+	if got := l.CDF(math.Exp(2)); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(median) = %v, want 0.5", got)
+	}
+	// CDF must be monotone.
+	prev := 0.0
+	for t10 := 1; t10 < 100; t10++ {
+		c := l.CDF(float64(t10))
+		if c < prev {
+			t.Fatalf("CDF not monotone at %d: %v < %v", t10, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestLognormalQuantileInvertsCDF(t *testing.T) {
+	l := Lognormal{Mu: 3, Sigma: 1.5}
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		q := l.Quantile(p)
+		if got := l.CDF(q); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if l.Quantile(0) != 0 {
+		t.Error("Quantile(0) should be 0")
+	}
+	if !math.IsInf(l.Quantile(1), 1) {
+		t.Error("Quantile(1) should be +Inf")
+	}
+}
+
+func TestSampleTruncated(t *testing.T) {
+	l := Lognormal{Mu: 4, Sigma: 4}
+	rng := rand.New(rand.NewSource(1))
+	upper := 3586.0
+	for i := 0; i < 1000; i++ {
+		v := l.SampleTruncated(rng, upper)
+		if v <= 0 || v > upper {
+			t.Fatalf("truncated sample %v out of (0, %v]", v, upper)
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	l := Lognormal{Mu: 1, Sigma: 1}
+	a := l.Sample(rand.New(rand.NewSource(42)))
+	b := l.Sample(rand.New(rand.NewSource(42)))
+	if a != b {
+		t.Errorf("same seed produced %v and %v", a, b)
+	}
+}

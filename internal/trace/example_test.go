@@ -1,0 +1,22 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"vrcluster/internal/trace"
+	"vrcluster/internal/workload"
+)
+
+// ExampleStandard generates one of the paper's published traces and
+// reports its published shape.
+func ExampleStandard() {
+	tr, err := trace.Standard(workload.Group1, 3, 42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: %d jobs over %v on %d workstations\n",
+		tr.Name, len(tr.Items), tr.Duration(), tr.Nodes)
+	// Output:
+	// SPEC-Trace-3: 578 jobs over 59m41s on 32 workstations
+}

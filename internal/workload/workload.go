@@ -1,0 +1,263 @@
+// Package workload is the catalog of the application programs evaluated in
+// the paper: the six SPEC-2000 benchmark programs of workload group 1
+// (Table 1) and the seven large scientific and system programs of workload
+// group 2 (Table 2), together with a synthetic memory-demand profile builder
+// that turns the published working-set and lifetime figures into runnable
+// jobs.
+//
+// Data provenance: the available copy of the paper renders both tables with
+// most numeric cells garbled. The values below therefore combine (a) the
+// cells that survive in the text (metis's 1M-4M data size; r-sphere's
+// 150,000 and r-wing's 500,000 entries; m-m's 1,024), (b) widely documented
+// SPEC CPU2000 reference working sets, and (c) the constraints stated in
+// the paper's prose: group 1 programs are CPU- and memory-intensive
+// relative to a 384 MB workstation; group 2 demands are smaller and ran on
+// a 128 MB workstation. Group-1 lifetimes are calibrated so the five
+// published submission rates span light (~0.5x capacity) to highly
+// intensive (~1.1x) utilization on the 32-node cluster, preserving apsi as
+// the longest-running program. EXPERIMENTS.md records this reconstruction
+// next to each table.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vrcluster/internal/job"
+)
+
+// Group identifies which of the two evaluation workloads a program belongs
+// to; the paper runs group 1 on cluster 1 and group 2 on cluster 2.
+type Group int
+
+// The two workload groups of Section 3.2.
+const (
+	Group1 Group = 1 // SPEC-2000 benchmark programs (Table 1)
+	Group2 Group = 2 // large scientific and system programs (Table 2)
+)
+
+// Program describes one catalog entry: the static characteristics the paper
+// reports plus everything needed to synthesize a job trace for it.
+type Program struct {
+	Name        string
+	Description string
+	Input       string // input file (group 1) or data size (group 2)
+	Group       Group
+
+	// WorkingSetMB is the maximum memory allocation during execution;
+	// MinWorkingSetMB differs only for programs whose demand the paper
+	// reports as a range (metis).
+	WorkingSetMB    float64
+	MinWorkingSetMB float64
+
+	// Lifetime is the dedicated-environment execution time, which the
+	// simulator treats as the job's CPU demand.
+	Lifetime time.Duration
+
+	// StartFrac is the fraction of the working set allocated right at
+	// startup, and RampEnd the fraction of CPU progress by which the
+	// allocation reaches the full working set. Most programs allocate
+	// most of their memory early, so their placement is effectively
+	// predictable; a few — the paper's jobs "with unexpectedly large
+	// memory allocation requirements" — start small and keep growing,
+	// which is what makes unsuitable placements, and hence the blocking
+	// problem, likely.
+	StartFrac float64
+	RampEnd   float64
+
+	// IOActive marks programs with significant I/O activity (group 2's
+	// renderers and the trace-driven simulation); IORateMBps is their
+	// sustained read/write rate while computing. Both feed the per-node
+	// buffer-cache model and the load index's I/O status field.
+	IOActive   bool
+	IORateMBps float64
+}
+
+// group1 is Table 1: the 6 SPEC-2000 programs measured on a 400 MHz
+// Pentium II with 384 MB memory under Linux 2.2.
+var group1 = []Program{
+	{
+		Name: "apsi", Description: "climate modeling", Input: "apsi.in",
+		Group: Group1, WorkingSetMB: 191.8, MinWorkingSetMB: 191.8,
+		Lifetime: secs(264.0), StartFrac: 0.12, RampEnd: 0.5,
+	},
+	{
+		Name: "gcc", Description: "optimized C compiler", Input: "166.i",
+		Group: Group1, WorkingSetMB: 154.7, MinWorkingSetMB: 154.7,
+		Lifetime: secs(76.0), StartFrac: 0.6, RampEnd: 0.3,
+	},
+	{
+		Name: "gzip", Description: "data compression", Input: "input.graphic",
+		Group: Group1, WorkingSetMB: 180.4, MinWorkingSetMB: 180.4,
+		Lifetime: secs(84.0), StartFrac: 0.85, RampEnd: 0.1,
+	},
+	{
+		Name: "mcf", Description: "combinatorial optimization", Input: "inp.in",
+		Group: Group1, WorkingSetMB: 190.4, MinWorkingSetMB: 190.4,
+		Lifetime: secs(172.0), StartFrac: 0.12, RampEnd: 0.4,
+	},
+	{
+		Name: "vortex", Description: "database", Input: "lendian1.raw",
+		Group: Group1, WorkingSetMB: 72.0, MinWorkingSetMB: 72.0,
+		Lifetime: secs(112.0), StartFrac: 0.8, RampEnd: 0.2,
+	},
+	{
+		Name: "bzip", Description: "data compression", Input: "input.graphic",
+		Group: Group1, WorkingSetMB: 184.9, MinWorkingSetMB: 184.9,
+		Lifetime: secs(80.0), StartFrac: 0.85, RampEnd: 0.1,
+	},
+}
+
+// group2 is Table 2: the 7 application programs measured on a 233 MHz
+// Pentium with 128 MB memory under Linux 2.0.
+var group2 = []Program{
+	{
+		Name: "bit-r", Description: "bit-reversals", Input: "16M",
+		Group: Group2, WorkingSetMB: 24.0, MinWorkingSetMB: 24.0,
+		Lifetime: secs(65.0), StartFrac: 0.8, RampEnd: 0.1,
+	},
+	{
+		Name: "m-sort", Description: "merge-sort", Input: "10M",
+		Group: Group2, WorkingSetMB: 43.0, MinWorkingSetMB: 43.0,
+		Lifetime: secs(62.1), StartFrac: 0.7, RampEnd: 0.2,
+	},
+	{
+		Name: "m-m", Description: "matrix multiplication", Input: "1,024",
+		Group: Group2, WorkingSetMB: 25.2, MinWorkingSetMB: 25.2,
+		Lifetime: secs(90.0), StartFrac: 0.9, RampEnd: 0.05,
+	},
+	{
+		Name: "t-sim", Description: "trace-driven simulation", Input: "31,000",
+		Group: Group2, WorkingSetMB: 36.0, MinWorkingSetMB: 36.0,
+		Lifetime: secs(77.0), StartFrac: 0.75, RampEnd: 0.2, IOActive: true, IORateMBps: 2.0,
+	},
+	{
+		Name: "metis", Description: "partitioning meshes", Input: "1M-4M",
+		Group: Group2, WorkingSetMB: 86.6, MinWorkingSetMB: 40.7,
+		Lifetime: secs(91.0), StartFrac: 0.6, RampEnd: 0.15,
+	},
+	{
+		Name: "r-sphere", Description: "cell-projection volume rendering (sphere)", Input: "150,000",
+		Group: Group2, WorkingSetMB: 54.0, MinWorkingSetMB: 54.0,
+		Lifetime: secs(85.0), StartFrac: 0.75, RampEnd: 0.15, IOActive: true, IORateMBps: 3.0,
+	},
+	{
+		Name: "r-wing", Description: "cell-projection volume rendering (aircraft wing)", Input: "500,000",
+		Group: Group2, WorkingSetMB: 74.4, MinWorkingSetMB: 74.4,
+		Lifetime: secs(131.0), StartFrac: 0.55, RampEnd: 0.4, IOActive: true, IORateMBps: 3.0,
+	},
+}
+
+func secs(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// Programs returns the catalog for one group. The returned slice is a copy.
+func Programs(g Group) []Program {
+	var src []Program
+	switch g {
+	case Group1:
+		src = group1
+	case Group2:
+		src = group2
+	default:
+		return nil
+	}
+	out := make([]Program, len(src))
+	copy(out, src)
+	return out
+}
+
+// ByName looks a program up across both groups.
+func ByName(name string) (Program, bool) {
+	for _, p := range group1 {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range group2 {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}
+
+// Jitter controls the per-job perturbation applied when synthesizing jobs
+// from a catalog program, modelling run-to-run input variation. Each field
+// is a relative half-width: 0.1 means uniform in [0.9x, 1.1x].
+type Jitter struct {
+	Lifetime   float64
+	WorkingSet float64
+}
+
+// DefaultJitter is used by the standard traces.
+var DefaultJitter = Jitter{Lifetime: 0.10, WorkingSet: 0.05}
+
+// Phases builds the program's memory-demand profile: demand ramps from the
+// startup allocation (StartFrac of the working set) to the full working
+// set by RampEnd of CPU progress, then holds. Programs with a ranged
+// working set (metis) cycle between the minimum and maximum after the
+// ramp, modelling their per-partition allocation behaviour.
+func (p Program) Phases(workingSetMB float64) []job.Phase {
+	startFrac := p.StartFrac
+	if startFrac <= 0 {
+		startFrac = 0.10
+	}
+	rampEnd := p.RampEnd
+	if rampEnd <= 0 {
+		rampEnd = 0.15
+	}
+	startMB := workingSetMB * startFrac
+	if p.MinWorkingSetMB < p.WorkingSetMB {
+		// Ranged demand: ramp to max, fall to min mid-run, climb back.
+		minMB := workingSetMB * p.MinWorkingSetMB / p.WorkingSetMB
+		mid := rampEnd + (1-rampEnd)*0.35
+		high := rampEnd + (1-rampEnd)*0.7
+		return []job.Phase{
+			{EndFrac: rampEnd, StartMB: startMB, EndMB: workingSetMB},
+			{EndFrac: mid, StartMB: workingSetMB, EndMB: minMB},
+			{EndFrac: high, StartMB: minMB, EndMB: workingSetMB},
+			{EndFrac: 1.00, StartMB: workingSetMB, EndMB: workingSetMB},
+		}
+	}
+	return []job.Phase{
+		{EndFrac: rampEnd, StartMB: startMB, EndMB: workingSetMB},
+		{EndFrac: 1.00, StartMB: workingSetMB, EndMB: workingSetMB},
+	}
+}
+
+// NewJob synthesizes one job instance of the program, applying jittered
+// lifetime and working set drawn from rng.
+func (p Program) NewJob(id int, submitAt time.Duration, rng *rand.Rand, jit Jitter) (*job.Job, error) {
+	lt := jitterValue(float64(p.Lifetime), jit.Lifetime, rng)
+	ws := jitterValue(p.WorkingSetMB, jit.WorkingSet, rng)
+	j, err := job.New(id, p.Name, time.Duration(lt), p.Phases(ws), submitAt)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", p.Name, err)
+	}
+	j.SetIORate(p.IORateMBps)
+	return j, nil
+}
+
+func jitterValue(v, halfWidth float64, rng *rand.Rand) float64 {
+	if halfWidth == 0 || rng == nil {
+		return v
+	}
+	return v * (1 + halfWidth*(2*rng.Float64()-1))
+}
+
+// MeanWorkingSetMB reports the average maximum working set across a group,
+// used to reason about node memory sizing in tests and docs.
+func MeanWorkingSetMB(g Group) float64 {
+	ps := Programs(g)
+	if len(ps) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range ps {
+		sum += p.WorkingSetMB
+	}
+	return sum / float64(len(ps))
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCatalogSizes(t *testing.T) {
+	if got := len(Programs(Group1)); got != 6 {
+		t.Errorf("group 1 has %d programs, want 6 (Table 1)", got)
+	}
+	if got := len(Programs(Group2)); got != 7 {
+		t.Errorf("group 2 has %d programs, want 7 (Table 2)", got)
+	}
+	if Programs(Group(99)) != nil {
+		t.Error("unknown group should return nil")
+	}
+}
+
+func TestCatalogReturnsCopy(t *testing.T) {
+	a := Programs(Group1)
+	a[0].Name = "mutated"
+	b := Programs(Group1)
+	if b[0].Name == "mutated" {
+		t.Error("Programs leaked internal slice")
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("apsi")
+	if !ok || p.Group != Group1 {
+		t.Errorf("ByName(apsi) = %+v, %v", p, ok)
+	}
+	if p.Lifetime != time.Duration(264.0*float64(time.Second)) {
+		t.Errorf("apsi lifetime = %v, want the calibrated 264s", p.Lifetime)
+	}
+	for _, q := range Programs(Group1) {
+		if q.Name != "apsi" && q.Lifetime >= p.Lifetime {
+			t.Errorf("%s lifetime %v >= apsi's; apsi should run longest", q.Name, q.Lifetime)
+		}
+	}
+	p, ok = ByName("r-wing")
+	if !ok || p.Group != Group2 {
+		t.Errorf("ByName(r-wing) = %+v, %v", p, ok)
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("ByName should miss unknown programs")
+	}
+}
+
+func TestGroupMemoryConstraints(t *testing.T) {
+	// Paper prose: group 1 programs are memory intensive relative to a
+	// 384 MB workstation; group 2 demands are smaller and ran on 128 MB.
+	for _, p := range Programs(Group1) {
+		if p.WorkingSetMB <= 0 || p.WorkingSetMB >= 384 {
+			t.Errorf("%s working set %v MB outside (0, 384)", p.Name, p.WorkingSetMB)
+		}
+		if p.Lifetime <= 0 {
+			t.Errorf("%s nonpositive lifetime", p.Name)
+		}
+	}
+	for _, p := range Programs(Group2) {
+		if p.WorkingSetMB <= 0 || p.WorkingSetMB >= 128 {
+			t.Errorf("%s working set %v MB outside (0, 128)", p.Name, p.WorkingSetMB)
+		}
+		if p.MinWorkingSetMB > p.WorkingSetMB {
+			t.Errorf("%s min working set %v > max %v", p.Name, p.MinWorkingSetMB, p.WorkingSetMB)
+		}
+	}
+	if MeanWorkingSetMB(Group2) >= MeanWorkingSetMB(Group1) {
+		t.Error("group 2 mean working set should be below group 1")
+	}
+}
+
+func TestPhasesPeakEqualsWorkingSet(t *testing.T) {
+	for _, g := range []Group{Group1, Group2} {
+		for _, p := range Programs(g) {
+			j, err := p.NewJob(1, 0, nil, Jitter{})
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			if got := j.PeakMemoryMB(); math.Abs(got-p.WorkingSetMB) > 1e-9 {
+				t.Errorf("%s peak = %v, want %v", p.Name, got, p.WorkingSetMB)
+			}
+			if j.CPUDemand != p.Lifetime {
+				t.Errorf("%s cpu demand = %v, want %v", p.Name, j.CPUDemand, p.Lifetime)
+			}
+		}
+	}
+}
+
+func TestRangedProgramDipsToMin(t *testing.T) {
+	p, ok := ByName("metis")
+	if !ok {
+		t.Fatal("metis missing")
+	}
+	j, err := p.NewJob(1, 0, nil, Jitter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand at the trough — RampEnd + 35% of the remainder — should be
+	// exactly MinWorkingSetMB.
+	trough := p.RampEnd + (1-p.RampEnd)*0.35
+	got := j.MemoryDemandAtMB(trough)
+	if math.Abs(got-p.MinWorkingSetMB) > 1e-9 {
+		t.Errorf("metis trough demand = %v, want %v", got, p.MinWorkingSetMB)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	p, _ := ByName("gcc")
+	rng := rand.New(rand.NewSource(1))
+	jit := Jitter{Lifetime: 0.2, WorkingSet: 0.1}
+	for i := 0; i < 200; i++ {
+		j, err := p.NewJob(i, 0, rng, jit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt := float64(j.CPUDemand)
+		lo, hi := float64(p.Lifetime)*0.8, float64(p.Lifetime)*1.2
+		if lt < lo-1 || lt > hi+1 {
+			t.Fatalf("jittered lifetime %v outside [%v, %v]", j.CPUDemand, lo, hi)
+		}
+		ws := j.PeakMemoryMB()
+		if ws < p.WorkingSetMB*0.9-1e-9 || ws > p.WorkingSetMB*1.1+1e-9 {
+			t.Fatalf("jittered working set %v outside 10%% band", ws)
+		}
+	}
+}
+
+func TestZeroJitterIsExact(t *testing.T) {
+	p, _ := ByName("mcf")
+	rng := rand.New(rand.NewSource(1))
+	j, err := p.NewJob(1, 0, rng, Jitter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.CPUDemand != p.Lifetime || j.PeakMemoryMB() != p.WorkingSetMB {
+		t.Error("zero jitter should reproduce catalog values exactly")
+	}
+}
+
+func TestJitterDeterministic(t *testing.T) {
+	p, _ := ByName("bzip")
+	a, err := p.NewJob(1, 0, rand.New(rand.NewSource(5)), DefaultJitter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.NewJob(1, 0, rand.New(rand.NewSource(5)), DefaultJitter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CPUDemand != b.CPUDemand || a.PeakMemoryMB() != b.PeakMemoryMB() {
+		t.Error("same seed should synthesize identical jobs")
+	}
+}
+
+// Property: any valid seed produces constructible jobs for every program
+// whose demand never exceeds its jittered peak.
+func TestNewJobAlwaysValidProperty(t *testing.T) {
+	all := append(Programs(Group1), Programs(Group2)...)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, p := range all {
+			j, err := p.NewJob(1, 0, rng, DefaultJitter)
+			if err != nil {
+				return false
+			}
+			peak := j.PeakMemoryMB()
+			for frac := 0.0; frac <= 1.0; frac += 0.05 {
+				if j.MemoryDemandAtMB(frac) > peak+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
