@@ -19,6 +19,7 @@ import (
 	"vrcluster/internal/metrics"
 	"vrcluster/internal/node"
 	"vrcluster/internal/policy"
+	"vrcluster/internal/runner"
 	"vrcluster/internal/sim"
 	"vrcluster/internal/trace"
 	"vrcluster/internal/workload"
@@ -159,6 +160,35 @@ func BenchmarkAblationBigJobs(b *testing.B) {
 		reportReduction(b, results[0].Result, results[1].Result)
 	}
 }
+
+// Grid benchmarks: the same three-level paired sweep executed
+// sequentially and fanned out across the worker pool. On a multi-core
+// machine the parallel variant's wall time approaches work/cores; the
+// results are byte-identical either way (pinned by
+// TestParallelRunMatchesSequential in internal/experiments).
+func benchGrid(b *testing.B, parallel int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		gr, err := experiments.Run(experiments.RunConfig{
+			Group:    workload.Group1,
+			Quantum:  benchQuantum,
+			Levels:   []int{1, 2, 3},
+			Parallel: parallel,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(gr.Speedup(), "x-speedup")
+	}
+}
+
+// BenchmarkExperimentGridSequential runs levels 1-3 of workload group 1 on
+// a single worker — the exact pre-runner code path.
+func BenchmarkExperimentGridSequential(b *testing.B) { benchGrid(b, 1) }
+
+// BenchmarkExperimentGridParallel runs the same grid with one worker per
+// CPU via the runner pool.
+func BenchmarkExperimentGridParallel(b *testing.B) { benchGrid(b, runner.DefaultParallelism()) }
 
 // Micro-benchmarks of the simulator substrate.
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"vrcluster/internal/experiments"
+	"vrcluster/internal/runner"
 	"vrcluster/internal/workload"
 )
 
@@ -29,17 +30,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("vrbench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, analytic, intervals, ablations, seeds")
-		seed    = fs.Int64("seed", experiments.DefaultSeed, "trace generation seed")
-		quantum = fs.Duration("quantum", 100*time.Millisecond, "CPU scheduling quantum")
-		level   = fs.Int("level", 3, "trace level for the ablation studies")
+		exp      = fs.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, analytic, intervals, ablations, seeds")
+		seed     = fs.Int64("seed", experiments.DefaultSeed, "trace generation seed")
+		quantum  = fs.Duration("quantum", 100*time.Millisecond, "CPU scheduling quantum")
+		level    = fs.Int("level", 3, "trace level for the ablation studies")
+		parallel = fs.Int("parallel", runner.DefaultParallelism(), "worker goroutines for independent runs (1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	out := os.Stdout
 	cfg := func(g workload.Group) experiments.RunConfig {
-		return experiments.RunConfig{Group: g, Seed: *seed, Quantum: *quantum}
+		return experiments.RunConfig{Group: g, Seed: *seed, Quantum: *quantum, Parallel: *parallel}
 	}
 
 	needGroup1 := *exp == "all" || *exp == "fig1" || *exp == "fig2" || *exp == "analytic" || *exp == "intervals"
@@ -52,12 +54,14 @@ func run(args []string) error {
 		if g1, err = experiments.Run(cfg(workload.Group1)); err != nil {
 			return err
 		}
+		reportTiming(out, g1, *parallel)
 	}
 	if needGroup2 {
 		fmt.Fprintln(out, "running workload group 2 (App-Trace-1..5, cluster 2, 32 nodes)...")
 		if g2, err = experiments.Run(cfg(workload.Group2)); err != nil {
 			return err
 		}
+		reportTiming(out, g2, *parallel)
 	}
 	fmt.Fprintln(out)
 
@@ -127,6 +131,16 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+}
+
+// reportTiming prints the sweep's wall-clock cost, the summed per-level
+// simulation work, and the realized speedup (work/wall) of the fan-out.
+func reportTiming(out *os.File, gr *experiments.GroupRuns, parallel int) {
+	if parallel <= 0 {
+		parallel = runner.DefaultParallelism()
+	}
+	fmt.Fprintf(out, "  %d levels in %v wall (%v of simulation work, %.2fx speedup, parallel=%d)\n",
+		len(gr.Levels), gr.Wall.Round(time.Millisecond), gr.Work.Round(time.Millisecond), gr.Speedup(), parallel)
 }
 
 func ablations(out *os.File, cfg experiments.RunConfig, level int) error {

@@ -20,3 +20,14 @@ func TestCatalogExperiments(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestParallelFlag(t *testing.T) {
+	// The catalog experiments run no simulations; this just pins that the
+	// -parallel flag parses and threads through the config builder.
+	if err := run([]string{"-exp", "table1", "-parallel", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "table1", "-parallel", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}

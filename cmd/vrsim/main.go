@@ -1,12 +1,16 @@
-// Command vrsim runs one cluster simulation: a workload trace (standard or
+// Command vrsim runs cluster simulations: a workload trace (standard or
 // from a file) executed under a chosen scheduling policy, printing the
-// summary metrics the paper reports.
+// summary metrics the paper reports. With -levels, several submission
+// intensities fan out across -parallel worker goroutines, each in its own
+// independent simulation; results print in level order and are identical
+// to running the levels one at a time.
 //
 // Examples:
 //
 //	vrsim -group 1 -level 3 -policy vr
 //	vrsim -group 2 -level 5 -policy gls -quantum 10ms
 //	vrsim -trace mytrace.json -policy vr-early -json
+//	vrsim -group 1 -levels 1,2,3,4,5 -policy vr -json
 package main
 
 import (
@@ -14,12 +18,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"vrcluster/internal/cluster"
 	"vrcluster/internal/core"
 	"vrcluster/internal/metrics"
 	"vrcluster/internal/policy"
+	"vrcluster/internal/runner"
 	"vrcluster/internal/trace"
 	"vrcluster/internal/workload"
 )
@@ -50,54 +57,45 @@ func run(args []string) error {
 		recordFile = fs.String("record", "", "record per-job activity (10ms granularity) to this JSON file")
 		seriesFile = fs.String("series", "", "write the per-second cluster state series to this CSV file")
 		jobsFile   = fs.String("jobscsv", "", "write per-job breakdowns to this CSV file")
+		levelsArg  = fs.String("levels", "", "comma-separated levels to run as independent simulations (overrides -level)")
+		parallel   = fs.Int("parallel", runner.DefaultParallelism(), "worker goroutines for -levels fan-out (1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	sc := simConfig{
+		policy:     *policyArg,
+		quantum:    *quantum,
+		maxTime:    *maxTime,
+		maxRes:     *maxRes,
+		faultScale: *faultScale,
+		largeFrac:  *largeFrac,
+		ageFactor:  *ageFactor,
+		floorFrac:  *floorFrac,
+	}
+
+	if *levelsArg != "" {
+		for _, f := range []struct{ name, value string }{
+			{"-trace", *traceFile}, {"-record", *recordFile}, {"-series", *seriesFile}, {"-jobscsv", *jobsFile},
+		} {
+			if f.value != "" {
+				return fmt.Errorf("%s applies to a single run and cannot be combined with -levels", f.name)
+			}
+		}
+		levels, err := parseLevels(*levelsArg)
+		if err != nil {
+			return err
+		}
+		return runLevels(sc, *group, *seed, *parallel, levels, *jsonOut)
 	}
 
 	tr, err := loadTrace(*traceFile, *group, *level, *seed)
 	if err != nil {
 		return err
 	}
-
-	cfg := cluster.Cluster1()
-	if tr.Group == workload.Group2 {
-		cfg = cluster.Cluster2()
-	}
-	cfg.Quantum = *quantum
-	if *maxTime > 0 {
-		cfg.MaxVirtualTime = *maxTime
-	}
-	if *faultScale > 0 {
-		for i := range cfg.Nodes {
-			cfg.Nodes[i].Memory.FaultScale = *faultScale
-		}
-	}
-	if *recordFile != "" {
-		cfg.RecordInterval = 10 * time.Millisecond
-	}
-
-	sched, err := buildPolicy(*policyArg, core.Options{
-		MaxReserved:      *maxRes,
-		LargeJobFraction: *largeFrac,
-		MinAgeFactor:     *ageFactor,
-	})
-	if err != nil {
-		return err
-	}
-	if *floorFrac > 0 {
-		switch s := sched.(type) {
-		case *policy.GLoadSharing:
-			s.AdmitFloorFrac = *floorFrac
-		case *core.VReconfiguration:
-			s.LoadSharing().AdmitFloorFrac = *floorFrac
-		}
-	}
-	c, err := cluster.New(cfg, sched)
-	if err != nil {
-		return err
-	}
-	res, err := c.Run(tr)
+	sc.record = *recordFile != ""
+	c, sched, res, err := sc.simulate(tr)
 	if err != nil {
 		return err
 	}
@@ -140,6 +138,125 @@ func run(args []string) error {
 		return enc.Encode(res)
 	}
 	printResult(res)
+	return nil
+}
+
+// simConfig carries the per-simulation knobs shared by the single-run and
+// the -levels fan-out paths. Every simulate call builds a fresh cluster
+// and scheduler, so concurrent calls never share mutable state.
+type simConfig struct {
+	policy     string
+	quantum    time.Duration
+	maxTime    time.Duration
+	maxRes     int
+	faultScale float64
+	largeFrac  float64
+	ageFactor  float64
+	floorFrac  float64
+	record     bool
+}
+
+// simulate runs tr on a newly built cluster under the configured policy.
+func (sc simConfig) simulate(tr *trace.Trace) (*cluster.Cluster, cluster.Scheduler, *metrics.Result, error) {
+	cfg := cluster.Cluster1()
+	if tr.Group == workload.Group2 {
+		cfg = cluster.Cluster2()
+	}
+	cfg.Quantum = sc.quantum
+	if sc.maxTime > 0 {
+		cfg.MaxVirtualTime = sc.maxTime
+	}
+	if sc.faultScale > 0 {
+		for i := range cfg.Nodes {
+			cfg.Nodes[i].Memory.FaultScale = sc.faultScale
+		}
+	}
+	if sc.record {
+		cfg.RecordInterval = 10 * time.Millisecond
+	}
+	sched, err := buildPolicy(sc.policy, core.Options{
+		MaxReserved:      sc.maxRes,
+		LargeJobFraction: sc.largeFrac,
+		MinAgeFactor:     sc.ageFactor,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if sc.floorFrac > 0 {
+		switch s := sched.(type) {
+		case *policy.GLoadSharing:
+			s.AdmitFloorFrac = sc.floorFrac
+		case *core.VReconfiguration:
+			s.LoadSharing().AdmitFloorFrac = sc.floorFrac
+		}
+	}
+	c, err := cluster.New(cfg, sched)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, err := c.Run(tr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return c, sched, res, nil
+}
+
+// parseLevels parses the -levels comma list into distinct intensities.
+func parseLevels(arg string) ([]int, error) {
+	parts := strings.Split(arg, ",")
+	levels := make([]int, 0, len(parts))
+	seen := make(map[int]bool, len(parts))
+	for _, p := range parts {
+		lvl, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad level %q in -levels", p)
+		}
+		if seen[lvl] {
+			return nil, fmt.Errorf("duplicate level %d in -levels", lvl)
+		}
+		seen[lvl] = true
+		levels = append(levels, lvl)
+	}
+	return levels, nil
+}
+
+// runLevels fans the requested levels out across parallel workers, one
+// independent simulation each, and prints the results in input order.
+func runLevels(sc simConfig, group int, seed int64, parallel int, levels []int, jsonOut bool) error {
+	start := time.Now()
+	timed, err := runner.MapTimed(parallel, levels, func(_ int, lvl int) (*metrics.Result, error) {
+		tr, err := loadTrace("", group, lvl, seed)
+		if err != nil {
+			return nil, err
+		}
+		_, _, res, err := sc.simulate(tr)
+		return res, err
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	if jsonOut {
+		results := make([]*metrics.Result, len(timed))
+		for i := range timed {
+			results[i] = timed[i].Value
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(results); err != nil {
+			return err
+		}
+	} else {
+		for i, tv := range timed {
+			if i > 0 {
+				fmt.Println()
+			}
+			printResult(tv.Value)
+		}
+	}
+	work, speedup := runner.Speedup(timed, wall)
+	fmt.Fprintf(os.Stderr, "%d levels in %v wall (%v of simulation work, %.2fx speedup, parallel=%d)\n",
+		len(levels), wall.Round(time.Millisecond), work.Round(time.Millisecond), speedup, parallel)
 	return nil
 }
 

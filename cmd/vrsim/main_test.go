@@ -105,3 +105,46 @@ func TestRunSmallSimulation(t *testing.T) {
 		t.Fatalf("simulation failed: %v", err)
 	}
 }
+
+func TestParseLevels(t *testing.T) {
+	levels, err := parseLevels("1, 3 ,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 || levels[0] != 1 || levels[1] != 3 || levels[2] != 5 {
+		t.Errorf("parseLevels = %v", levels)
+	}
+	if _, err := parseLevels("1,x"); err == nil {
+		t.Error("non-numeric level should fail")
+	}
+	if _, err := parseLevels("2,2"); err == nil {
+		t.Error("duplicate level should fail")
+	}
+	if _, err := parseLevels(""); err == nil {
+		t.Error("empty list should fail")
+	}
+}
+
+func TestLevelsFlagConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-levels", "1", "-trace", "t.json"},
+		{"-levels", "1", "-record", "r.json"},
+		{"-levels", "1", "-series", "s.csv"},
+		{"-levels", "1", "-jobscsv", "j.csv"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should reject the single-run output flag", args)
+		}
+	}
+	if err := run([]string{"-levels", "9"}); err == nil {
+		t.Error("out-of-range level should fail")
+	}
+}
+
+func TestRunLevelsFanOut(t *testing.T) {
+	// Two levels through the worker pool end to end; determinism against
+	// the sequential path is pinned in internal/experiments.
+	if err := run([]string{"-group", "1", "-levels", "1,2", "-policy", "gls", "-parallel", "2", "-json"}); err != nil {
+		t.Fatalf("fan-out run failed: %v", err)
+	}
+}

@@ -1,0 +1,66 @@
+package cluster_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"vrcluster/internal/cluster"
+	"vrcluster/internal/core"
+	"vrcluster/internal/policy"
+	"vrcluster/internal/trace"
+	"vrcluster/internal/workload"
+)
+
+// The experiment harness passes one trace to several runs (and, with the
+// parallel runner, to several concurrent runs). That is only sound if
+// replay treats the trace as immutable: Run must materialize fresh jobs
+// and never write through the shared items. This pins that contract —
+// byte-level snapshot before, deep-equal after, across both policies and
+// a record-enabled run.
+func TestRunDoesNotMutateTrace(t *testing.T) {
+	tr, err := trace.Generate(trace.Config{
+		Name:     "immutability",
+		Group:    workload.Group2,
+		Sigma:    2,
+		Mu:       2,
+		Jobs:     25,
+		Duration: 5 * time.Minute,
+		Nodes:    8,
+		Seed:     11,
+		Jitter:   workload.DefaultJitter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := tr.Clone()
+
+	build := map[string]func() (cluster.Scheduler, error){
+		"gls": func() (cluster.Scheduler, error) { return policy.NewGLoadSharing(), nil },
+		"vr": func() (cluster.Scheduler, error) {
+			return core.NewVReconfiguration(core.Options{})
+		},
+	}
+	for name, mk := range build {
+		sched, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallCluster(8, 128, 4)
+		cfg.Quantum = 100 * time.Millisecond
+		cfg.MaxVirtualTime = 10 * time.Hour
+		if name == "vr" {
+			cfg.RecordInterval = 100 * time.Millisecond
+		}
+		c, err := cluster.New(cfg, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(tr); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(tr, snapshot) {
+			t.Fatalf("%s: cluster.Run mutated the trace", name)
+		}
+	}
+}

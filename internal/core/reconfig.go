@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"vrcluster/internal/cluster"
@@ -277,6 +278,20 @@ func (m *Manager) OnBlocked(c *cluster.Cluster, now time.Duration, src *node.Nod
 // Stats returns the manager's attempt counters.
 func (m *Manager) Stats() Stats { return m.stats }
 
+// sortedIDs returns a map's workstation IDs in ascending order. The
+// manager's per-node state lives in maps, but decision loops with side
+// effects (releases, promotions, record appends, fit tie-breaks) must
+// visit workstations in a fixed order: Go's randomized map iteration
+// would otherwise make runs with identical seeds non-reproducible.
+func sortedIDs[V any](m map[int]V) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
 // OnControl advances reserving periods: releases them when the blocking
 // problem has disappeared or the timeout expired, and promotes drained
 // workstations to reserved service, migrating the most memory-intensive
@@ -286,7 +301,8 @@ func (m *Manager) OnControl(c *cluster.Cluster, now time.Duration) {
 		return
 	}
 	blocked := m.blockingExists(c)
-	for id, st := range m.reserving {
+	for _, id := range sortedIDs(m.reserving) {
+		st := m.reserving[id]
 		n, err := c.Node(id)
 		if err != nil {
 			delete(m.reserving, id)
@@ -333,7 +349,8 @@ func (m *Manager) OnControl(c *cluster.Cluster, now time.Duration) {
 	}
 	// Release reserved workstations whose special service completed; the
 	// scheduler then views them as regular workstations again.
-	for id, rs := range m.reserved {
+	for _, id := range sortedIDs(m.reserved) {
+		rs := m.reserved[id]
 		if !allDone(rs.assigned) {
 			continue
 		}
@@ -436,7 +453,8 @@ func (m *Manager) reservedFit(c *cluster.Cluster, victim *job.Job) (int, bool) {
 	demand := victim.MemoryDemandMB()
 	bestID, found := -1, false
 	var bestIdle float64
-	for id, rs := range m.reserved {
+	for _, id := range sortedIDs(m.reserved) {
+		rs := m.reserved[id]
 		if len(rs.assigned) >= m.opts.MaxAssignedPerReservation {
 			continue
 		}

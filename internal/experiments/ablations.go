@@ -9,6 +9,7 @@ import (
 	"vrcluster/internal/metrics"
 	"vrcluster/internal/node"
 	"vrcluster/internal/policy"
+	"vrcluster/internal/runner"
 	"vrcluster/internal/trace"
 )
 
@@ -16,6 +17,32 @@ import (
 type AblationResult struct {
 	Variant string
 	Result  *metrics.Result
+}
+
+// ablationVariant names one ablation task and knows how to build its
+// scheduler and (optionally) tweak the cluster config. Variants fan out
+// across cfg.Parallel workers; each task replays its own deep copy of the
+// trace so no variant can alias another's state.
+type ablationVariant struct {
+	name   string
+	build  func() (cluster.Scheduler, error)
+	mutate func(*cluster.Config)
+}
+
+// runVariants executes every variant against its own clone of tr, in
+// input order.
+func runVariants(cfg RunConfig, tr *trace.Trace, variants []ablationVariant) ([]AblationResult, error) {
+	return runner.Map(cfg.Parallel, variants, func(_ int, v ablationVariant) (AblationResult, error) {
+		sched, err := v.build()
+		if err != nil {
+			return AblationResult{}, err
+		}
+		res, err := runOne(cfg, tr.Clone(), sched, v.mutate)
+		if err != nil {
+			return AblationResult{}, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		return AblationResult{Variant: v.name, Result: res}, nil
+	})
 }
 
 // AblationRules compares every policy variant on one trace: no sharing,
@@ -30,34 +57,19 @@ func AblationRules(cfg RunConfig, level int) ([]AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	variants := []struct {
-		name  string
-		build func() (cluster.Scheduler, error)
-	}{
-		{"no-sharing", func() (cluster.Scheduler, error) { return policy.NoSharing{}, nil }},
-		{"cpu-sharing", func() (cluster.Scheduler, error) { return policy.CPUSharing{}, nil }},
-		{"g-loadsharing", func() (cluster.Scheduler, error) { return policy.NewGLoadSharing(), nil }},
-		{"suspension", func() (cluster.Scheduler, error) { return policy.NewSuspension(), nil }},
-		{"vr-full-drain", func() (cluster.Scheduler, error) {
+	variants := []ablationVariant{
+		{name: "no-sharing", build: func() (cluster.Scheduler, error) { return policy.NoSharing{}, nil }},
+		{name: "cpu-sharing", build: func() (cluster.Scheduler, error) { return policy.CPUSharing{}, nil }},
+		{name: "g-loadsharing", build: func() (cluster.Scheduler, error) { return policy.NewGLoadSharing(), nil }},
+		{name: "suspension", build: func() (cluster.Scheduler, error) { return policy.NewSuspension(), nil }},
+		{name: "vr-full-drain", build: func() (cluster.Scheduler, error) {
 			return core.NewVReconfiguration(core.Options{Rule: core.RuleFullDrain})
 		}},
-		{"vr-early-fit", func() (cluster.Scheduler, error) {
+		{name: "vr-early-fit", build: func() (cluster.Scheduler, error) {
 			return core.NewVReconfiguration(core.Options{Rule: core.RuleEarlyFit})
 		}},
 	}
-	out := make([]AblationResult, 0, len(variants))
-	for _, v := range variants {
-		sched, err := v.build()
-		if err != nil {
-			return nil, err
-		}
-		res, err := runOne(cfg, tr, sched, nil)
-		if err != nil {
-			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
-		}
-		out = append(out, AblationResult{Variant: v.name, Result: res})
-	}
-	return out, nil
+	return runVariants(cfg, tr, variants)
 }
 
 // AblationReservationCap sweeps the maximum number of simultaneously
@@ -70,19 +82,17 @@ func AblationReservationCap(cfg RunConfig, level int, caps []int) ([]AblationRes
 	if err != nil {
 		return nil, err
 	}
-	out := make([]AblationResult, 0, len(caps))
+	variants := make([]ablationVariant, 0, len(caps))
 	for _, cap := range caps {
-		sched, err := core.NewVReconfiguration(core.Options{Rule: cfg.Rule, MaxReserved: cap})
-		if err != nil {
-			return nil, err
-		}
-		res, err := runOne(cfg, tr, sched, nil)
-		if err != nil {
-			return nil, fmt.Errorf("ablation cap %d: %w", cap, err)
-		}
-		out = append(out, AblationResult{Variant: fmt.Sprintf("max-reserved=%d", cap), Result: res})
+		cap := cap
+		variants = append(variants, ablationVariant{
+			name: fmt.Sprintf("max-reserved=%d", cap),
+			build: func() (cluster.Scheduler, error) {
+				return core.NewVReconfiguration(core.Options{Rule: cfg.Rule, MaxReserved: cap})
+			},
+		})
 	}
-	return out, nil
+	return runVariants(cfg, tr, variants)
 }
 
 // AblationExchangePeriod sweeps the load-information collection and
@@ -96,22 +106,18 @@ func AblationExchangePeriod(cfg RunConfig, level int, periods []time.Duration) (
 	if err != nil {
 		return nil, err
 	}
-	out := make([]AblationResult, 0, len(periods))
+	variants := make([]ablationVariant, 0, len(periods))
 	for _, p := range periods {
-		sched, err := core.NewVReconfiguration(core.Options{Rule: cfg.Rule})
-		if err != nil {
-			return nil, err
-		}
 		period := p
-		res, err := runOne(cfg, tr, sched, func(cc *cluster.Config) {
-			cc.ControlPeriod = period
+		variants = append(variants, ablationVariant{
+			name: fmt.Sprintf("exchange=%v", p),
+			build: func() (cluster.Scheduler, error) {
+				return core.NewVReconfiguration(core.Options{Rule: cfg.Rule})
+			},
+			mutate: func(cc *cluster.Config) { cc.ControlPeriod = period },
 		})
-		if err != nil {
-			return nil, fmt.Errorf("ablation period %v: %w", p, err)
-		}
-		out = append(out, AblationResult{Variant: fmt.Sprintf("exchange=%v", p), Result: res})
 	}
-	return out, nil
+	return runVariants(cfg, tr, variants)
 }
 
 // AblationBigJobs runs a big-job-dominant workload (only the two largest
@@ -141,22 +147,12 @@ func AblationBigJobs(cfg RunConfig, level int) ([]AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []AblationResult
-	base, err := runOne(cfg, tr, policy.NewGLoadSharing(), nil)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, AblationResult{Variant: "g-loadsharing", Result: base})
-	sched, err := core.NewVReconfiguration(core.Options{Rule: cfg.Rule})
-	if err != nil {
-		return nil, err
-	}
-	vr, err := runOne(cfg, tr, sched, nil)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, AblationResult{Variant: "v-reconfiguration", Result: vr})
-	return out, nil
+	return runVariants(cfg, tr, []ablationVariant{
+		{name: "g-loadsharing", build: func() (cluster.Scheduler, error) { return policy.NewGLoadSharing(), nil }},
+		{name: "v-reconfiguration", build: func() (cluster.Scheduler, error) {
+			return core.NewVReconfiguration(core.Options{Rule: cfg.Rule})
+		}},
+	})
 }
 
 // AblationSharedNetwork compares migrations over dedicated links with
@@ -170,34 +166,31 @@ func AblationSharedNetwork(cfg RunConfig, level int) ([]AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]AblationResult, 0, 4)
+	var variants []ablationVariant
 	for _, shared := range []bool{false, true} {
 		suffix := "dedicated"
 		if shared {
 			suffix = "shared"
 		}
 		for _, vr := range []bool{false, true} {
-			var sched cluster.Scheduler = policy.NewGLoadSharing()
+			isShared, isVR := shared, vr
 			name := "gls/" + suffix
 			if vr {
-				v, err := core.NewVReconfiguration(core.Options{Rule: cfg.Rule})
-				if err != nil {
-					return nil, err
-				}
-				sched = v
 				name = "vr/" + suffix
 			}
-			isShared := shared
-			res, err := runOne(cfg, tr, sched, func(cc *cluster.Config) {
-				cc.SharedNetwork = isShared
+			variants = append(variants, ablationVariant{
+				name: name,
+				build: func() (cluster.Scheduler, error) {
+					if isVR {
+						return core.NewVReconfiguration(core.Options{Rule: cfg.Rule})
+					}
+					return policy.NewGLoadSharing(), nil
+				},
+				mutate: func(cc *cluster.Config) { cc.SharedNetwork = isShared },
 			})
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, AblationResult{Variant: name, Result: res})
 		}
 	}
-	return out, nil
+	return runVariants(cfg, tr, variants)
 }
 
 // AblationNetworkRAM exercises the Section 2.3 escape hatch for jobs whose
@@ -233,7 +226,7 @@ func AblationNetworkRAM(cfg RunConfig, level int) ([]AblationResult, error) {
 			tr.Items[i].WorkingSetMB = 420
 		}
 	}
-	var out []AblationResult
+	var variants []ablationVariant
 	for _, v := range []struct {
 		name string
 		opts core.Options
@@ -241,17 +234,13 @@ func AblationNetworkRAM(cfg RunConfig, level int) ([]AblationResult, error) {
 		{"vr-disk-paging", core.Options{Rule: cfg.Rule}},
 		{"vr-network-ram", core.Options{Rule: cfg.Rule, NetworkRAM: true}},
 	} {
-		sched, err := core.NewVReconfiguration(v.opts)
-		if err != nil {
-			return nil, err
-		}
-		res, err := runOne(cfg, tr, sched, nil)
-		if err != nil {
-			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
-		}
-		out = append(out, AblationResult{Variant: v.name, Result: res})
+		opts := v.opts
+		variants = append(variants, ablationVariant{
+			name:  v.name,
+			build: func() (cluster.Scheduler, error) { return core.NewVReconfiguration(opts) },
+		})
 	}
-	return out, nil
+	return runVariants(cfg, tr, variants)
 }
 
 // AblationHeterogeneous runs one trace on a heterogeneous cluster mixing
@@ -276,31 +265,30 @@ func AblationHeterogeneous(cfg RunConfig, level int) ([]AblationResult, error) {
 	het := cluster.Heterogeneous(len(base.Nodes), []node.Config{big, protos[0], small, protos[0]}, protos[0].CPUSpeedMHz)
 	het.Seed = base.Seed
 
-	var out []AblationResult
-	for _, v := range []struct {
-		name  string
-		build func() (cluster.Scheduler, error)
-	}{
-		{"g-loadsharing", func() (cluster.Scheduler, error) { return policy.NewGLoadSharing(), nil }},
-		{"v-reconfiguration", func() (cluster.Scheduler, error) {
+	variants := []ablationVariant{
+		{name: "g-loadsharing", build: func() (cluster.Scheduler, error) { return policy.NewGLoadSharing(), nil }},
+		{name: "v-reconfiguration", build: func() (cluster.Scheduler, error) {
 			return core.NewVReconfiguration(core.Options{Rule: cfg.Rule})
 		}},
-	} {
+	}
+	return runner.Map(cfg.Parallel, variants, func(_ int, v ablationVariant) (AblationResult, error) {
 		sched, err := v.build()
 		if err != nil {
-			return nil, err
+			return AblationResult{}, err
 		}
 		hcfg := het
+		// Each task gets its own node-config slice: cluster.New only reads
+		// it, but no variant may share a mutable backing array with another.
+		hcfg.Nodes = append([]node.Config(nil), het.Nodes...)
 		hcfg.Quantum = cfg.Quantum
 		c, err := cluster.New(hcfg, sched)
 		if err != nil {
-			return nil, err
+			return AblationResult{}, err
 		}
-		res, err := c.Run(tr)
+		res, err := c.Run(tr.Clone())
 		if err != nil {
-			return nil, fmt.Errorf("ablation heterogeneous %s: %w", v.name, err)
+			return AblationResult{}, fmt.Errorf("ablation heterogeneous %s: %w", v.name, err)
 		}
-		out = append(out, AblationResult{Variant: v.name, Result: res})
-	}
-	return out, nil
+		return AblationResult{Variant: v.name, Result: res}, nil
+	})
 }

@@ -16,6 +16,7 @@ import (
 	"vrcluster/internal/core"
 	"vrcluster/internal/metrics"
 	"vrcluster/internal/policy"
+	"vrcluster/internal/runner"
 	"vrcluster/internal/trace"
 	"vrcluster/internal/workload"
 )
@@ -27,6 +28,13 @@ type RunConfig struct {
 	Quantum time.Duration
 	Levels  []int
 	Rule    core.Rule
+
+	// Parallel is the fan-out width for independent runs: 0 means one
+	// worker per CPU (runner.DefaultParallelism), 1 preserves the exact
+	// sequential execution order. Results are identical either way — each
+	// run owns its engine, cluster, scheduler, and trace copy, and the
+	// runner reassembles outputs in input order.
+	Parallel int
 }
 
 // DefaultSeed keeps every published number reproducible.
@@ -63,12 +71,30 @@ type LevelRun struct {
 	VR      *metrics.Result
 	Gain    analytic.Gain
 	Records []core.ReservationRecord
+
+	// Elapsed is the wall-clock cost of this level's paired simulations
+	// (not part of the deterministic result set).
+	Elapsed time.Duration
 }
 
 // GroupRuns holds the full evaluation of one workload group.
 type GroupRuns struct {
 	Group  workload.Group
 	Levels []LevelRun
+
+	// Wall is the wall-clock time of the whole sweep; Work is the sum of
+	// per-level Elapsed. Work/Wall is the realized parallel speedup.
+	Wall time.Duration
+	Work time.Duration
+}
+
+// Speedup reports the realized parallel speedup of the sweep: total
+// per-level work divided by wall-clock time (≈1 when sequential).
+func (gr *GroupRuns) Speedup() float64 {
+	if gr.Wall <= 0 {
+		return 0
+	}
+	return float64(gr.Work) / float64(gr.Wall)
 }
 
 // clusterConfig returns the simulated cluster matching the group.
@@ -79,39 +105,57 @@ func clusterConfig(g workload.Group) cluster.Config {
 	return cluster.Cluster1()
 }
 
-// Run executes the paired trace-driven simulations for a group.
+// Run executes the paired trace-driven simulations for a group. Levels
+// fan out across cfg.Parallel workers; each level builds its own trace,
+// clusters, and schedulers, so results are byte-identical to a sequential
+// sweep of the same seeds.
 func Run(cfg RunConfig) (*GroupRuns, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	out := &GroupRuns{Group: cfg.Group}
-	for _, lvl := range cfg.Levels {
-		tr, err := trace.Standard(cfg.Group, lvl, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		base, err := runOne(cfg, tr, policy.NewGLoadSharing(), nil)
-		if err != nil {
-			return nil, err
-		}
-		vrSched, err := core.NewVReconfiguration(core.Options{Rule: cfg.Rule})
-		if err != nil {
-			return nil, err
-		}
-		vr, err := runOne(cfg, tr, vrSched, nil)
-		if err != nil {
-			return nil, err
-		}
-		recs := vrSched.Manager().Records()
-		gain, err := analytic.Compare(base, vr, recs)
-		if err != nil {
-			return nil, err
-		}
-		out.Levels = append(out.Levels, LevelRun{
-			Level: lvl, Base: base, VR: vr, Gain: gain, Records: recs,
-		})
+	start := time.Now()
+	levels, err := runner.MapTimed(cfg.Parallel, cfg.Levels, func(_ int, lvl int) (LevelRun, error) {
+		return runLevel(cfg, lvl)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &GroupRuns{Group: cfg.Group, Wall: time.Since(start)}
+	for _, lr := range levels {
+		lr.Value.Elapsed = lr.Elapsed
+		out.Work += lr.Elapsed
+		out.Levels = append(out.Levels, lr.Value)
 	}
 	return out, nil
+}
+
+// runLevel executes one submission level's paired comparison. The trace
+// is generated locally and each policy replays its own deep copy, so a
+// level is fully self-contained — the property the parallel fan-out (and
+// the paired comparison itself) relies on.
+func runLevel(cfg RunConfig, lvl int) (LevelRun, error) {
+	tr, err := trace.Standard(cfg.Group, lvl, cfg.Seed)
+	if err != nil {
+		return LevelRun{}, err
+	}
+	base, err := runOne(cfg, tr.Clone(), policy.NewGLoadSharing(), nil)
+	if err != nil {
+		return LevelRun{}, err
+	}
+	vrSched, err := core.NewVReconfiguration(core.Options{Rule: cfg.Rule})
+	if err != nil {
+		return LevelRun{}, err
+	}
+	vr, err := runOne(cfg, tr.Clone(), vrSched, nil)
+	if err != nil {
+		return LevelRun{}, err
+	}
+	recs := vrSched.Manager().Records()
+	gain, err := analytic.Compare(base, vr, recs)
+	if err != nil {
+		return LevelRun{}, err
+	}
+	return LevelRun{Level: lvl, Base: base, VR: vr, Gain: gain, Records: recs}, nil
 }
 
 func runOne(cfg RunConfig, tr *trace.Trace, sched cluster.Scheduler, mutate func(*cluster.Config)) (*metrics.Result, error) {
@@ -358,27 +402,26 @@ type SeedRow struct {
 // SeedSensitivity reruns the paired comparison for one trace level across
 // several generation seeds, reporting each seed's reductions — a
 // robustness check that the headline result is not an artifact of one
-// random trace.
+// random trace. Seeds fan out across cfg.Parallel workers.
 func SeedSensitivity(cfg RunConfig, level int, seeds []int64) ([]SeedRow, error) {
 	if len(seeds) == 0 {
 		return nil, errors.New("experiments: no seeds")
 	}
-	rows := make([]SeedRow, 0, len(seeds))
-	for _, seed := range seeds {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return runner.Map(cfg.Parallel, seeds, func(_ int, seed int64) (SeedRow, error) {
 		c := cfg
 		c.Seed = seed
-		c.Levels = []int{level}
-		gr, err := Run(c)
+		lr, err := runLevel(c, level)
 		if err != nil {
-			return nil, fmt.Errorf("seed %d: %w", seed, err)
+			return SeedRow{}, fmt.Errorf("seed %d: %w", seed, err)
 		}
-		lr := gr.Levels[0]
-		rows = append(rows, SeedRow{
+		return SeedRow{
 			Seed:     seed,
 			Exec:     metrics.Reduction(lr.Base.TotalExec.Seconds(), lr.VR.TotalExec.Seconds()),
 			Queue:    metrics.Reduction(lr.Base.TotalQueue.Seconds(), lr.VR.TotalQueue.Seconds()),
 			Slowdown: metrics.Reduction(lr.Base.MeanSlowdown, lr.VR.MeanSlowdown),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -375,5 +376,112 @@ func TestSeedSensitivity(t *testing.T) {
 	}
 	if _, err := SeedSensitivity(fastConfig(), 1, nil); err == nil {
 		t.Error("empty seed list should fail")
+	}
+}
+
+// Determinism regression: the full Group1 level-1..3 experiment must be
+// byte-identical between the sequential path and a parallel=4 fan-out —
+// every metrics.Result (including its sample series) and every
+// reservation record. This is the contract that makes the runner safe to
+// use for any sweep in this repo.
+func TestParallelRunMatchesSequential(t *testing.T) {
+	cfg := RunConfig{
+		Group:   workload.Group1,
+		Quantum: 100 * time.Millisecond,
+		Levels:  []int{1, 2, 3},
+	}
+	seq := cfg
+	seq.Parallel = 1
+	par := cfg
+	par.Parallel = 4
+
+	a, err := Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Levels) != len(b.Levels) {
+		t.Fatalf("level counts differ: %d vs %d", len(a.Levels), len(b.Levels))
+	}
+	for i := range a.Levels {
+		la, lb := a.Levels[i], b.Levels[i]
+		if la.Level != lb.Level {
+			t.Fatalf("level order differs at %d: %d vs %d", i, la.Level, lb.Level)
+		}
+		if !reflect.DeepEqual(la.Base, lb.Base) {
+			t.Errorf("level %d: base results differ between sequential and parallel", la.Level)
+		}
+		if !reflect.DeepEqual(la.VR, lb.VR) {
+			t.Errorf("level %d: VR results differ between sequential and parallel", la.Level)
+		}
+		if !reflect.DeepEqual(la.Gain, lb.Gain) {
+			t.Errorf("level %d: gains differ between sequential and parallel", la.Level)
+		}
+		if !reflect.DeepEqual(la.Records, lb.Records) {
+			t.Errorf("level %d: reservation records differ between sequential and parallel", la.Level)
+		}
+	}
+}
+
+// Seed sweeps must likewise be order- and content-identical under fan-out.
+func TestParallelSeedSensitivityMatchesSequential(t *testing.T) {
+	cfg := fastConfig()
+	seeds := []int64{7, 21, 42}
+	seq := cfg
+	seq.Parallel = 1
+	par := cfg
+	par.Parallel = 3
+	a, err := SeedSensitivity(seq, 1, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SeedSensitivity(par, 1, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("seed rows differ:\nsequential: %+v\nparallel:   %+v", a, b)
+	}
+}
+
+// Ablation grids fan out per variant; results must stay in input order
+// and be identical to the sequential pass.
+func TestParallelAblationMatchesSequential(t *testing.T) {
+	seq := fastConfig()
+	seq.Parallel = 1
+	par := fastConfig()
+	par.Parallel = 4
+	a, err := AblationRules(seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AblationRules(par, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("ablation results differ between sequential and parallel")
+	}
+}
+
+func TestGroupRunsSpeedupReporting(t *testing.T) {
+	gr, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Wall <= 0 || gr.Work <= 0 {
+		t.Errorf("wall/work = %v/%v, want positive", gr.Wall, gr.Work)
+	}
+	if gr.Levels[0].Elapsed <= 0 {
+		t.Error("per-level elapsed not recorded")
+	}
+	if gr.Speedup() <= 0 {
+		t.Errorf("speedup = %v", gr.Speedup())
+	}
+	if (&GroupRuns{}).Speedup() != 0 {
+		t.Error("zero-wall speedup should be 0")
 	}
 }

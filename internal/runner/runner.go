@@ -1,0 +1,133 @@
+// Package runner is the deterministic fan-out layer for independent
+// simulation runs: it executes a batch of tasks — each owning its own
+// sim.Engine, cluster, and scheduler — across a bounded pool of
+// goroutines and reassembles the results in input order.
+//
+// Determinism contract: provided every task is self-contained (no shared
+// mutable state between tasks), the output of Map is byte-identical to
+// running the tasks sequentially with the same inputs. Parallelism only
+// changes wall-clock time, never results. Error semantics also match the
+// sequential path: the error returned is always the one the lowest-index
+// failing task produced, and tasks ordered after the earliest failure may
+// be skipped (their outputs are discarded either way).
+package runner
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultParallelism is the fan-out width used when a caller passes
+// parallel <= 0: one worker per available CPU.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// Map runs fn(i, items[i]) for every item on up to parallel goroutines and
+// returns the outputs in input order. parallel <= 0 means
+// DefaultParallelism(); parallel == 1 runs every task inline on the
+// calling goroutine, preserving today's exact sequential behavior
+// (including stopping at the first error without starting later tasks).
+//
+// fn must not share mutable state across invocations; each call should
+// build its own simulation world. The index i lets a task seed or label
+// itself without closing over loop variables.
+func Map[In, Out any](parallel int, items []In, fn func(i int, item In) (Out, error)) ([]Out, error) {
+	if parallel <= 0 {
+		parallel = DefaultParallelism()
+	}
+	if parallel > len(items) {
+		parallel = len(items)
+	}
+	out := make([]Out, len(items))
+	if parallel <= 1 {
+		for i, item := range items {
+			v, err := fn(i, item)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, len(items))
+	var next atomic.Int64
+	next.Store(-1)
+	// minFailed tracks the lowest index that has errored so far. Workers
+	// skip tasks ordered after it — exactly the tasks the sequential path
+	// would never have started — so the first error in index order is
+	// always the error the sequential path would have returned.
+	var minFailed atomic.Int64
+	minFailed.Store(math.MaxInt64)
+
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(items) {
+					return
+				}
+				if int64(i) > minFailed.Load() {
+					continue
+				}
+				v, err := fn(i, items[i])
+				if err != nil {
+					errs[i] = err
+					for {
+						cur := minFailed.Load()
+						if int64(i) >= cur || minFailed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Timed pairs one task's output with its wall-clock cost, for speedup
+// reporting: the sum of Elapsed over a batch divided by the batch's wall
+// time is the realized parallel speedup.
+type Timed[Out any] struct {
+	Value   Out
+	Elapsed time.Duration
+}
+
+// MapTimed is Map with per-task wall-clock measurement.
+func MapTimed[In, Out any](parallel int, items []In, fn func(i int, item In) (Out, error)) ([]Timed[Out], error) {
+	return Map(parallel, items, func(i int, item In) (Timed[Out], error) {
+		start := time.Now()
+		v, err := fn(i, item)
+		if err != nil {
+			return Timed[Out]{}, err
+		}
+		return Timed[Out]{Value: v, Elapsed: time.Since(start)}, nil
+	})
+}
+
+// Speedup summarizes a timed batch: total task work, the batch wall time,
+// and the realized speedup work/wall (1.0 when sequential).
+func Speedup[Out any](timed []Timed[Out], wall time.Duration) (work time.Duration, speedup float64) {
+	for _, t := range timed {
+		work += t.Elapsed
+	}
+	if wall > 0 {
+		speedup = float64(work) / float64(wall)
+	}
+	return work, speedup
+}

@@ -143,17 +143,19 @@ func (e *Engine) Step() bool {
 	return false
 }
 
-// Run executes events until the queue drains or Stop is called.
+// Run executes events until the queue drains or Stop is called. A stop is
+// sticky: if Stop was called — even before Run — no event executes until
+// Reset clears it.
 func (e *Engine) Run() {
-	e.stopped = false
 	for !e.stopped && e.Step() {
 	}
 }
 
 // RunUntil executes events with time <= deadline, then advances the clock to
-// the deadline (if it is later than the last event executed).
+// the deadline (if it is later than the last event executed). Like Run it
+// honors a sticky stop; a stopped engine executes nothing and keeps its
+// clock where the stop left it.
 func (e *Engine) RunUntil(deadline time.Duration) {
-	e.stopped = false
 	for !e.stopped {
 		next, ok := e.peek()
 		if !ok || next > deadline {
@@ -161,14 +163,23 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 		}
 		e.Step()
 	}
-	if e.now < deadline {
+	if !e.stopped && e.now < deadline {
 		e.now = deadline
 	}
 }
 
 // Stop makes the current Run or RunUntil return after the in-flight event
-// completes.
+// completes. The stop is sticky: later Run/RunUntil calls return
+// immediately until Reset is called, so a Stop issued between runs is
+// never silently dropped.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether a sticky stop is in effect.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Reset clears a sticky stop so the engine can resume execution. The
+// clock, queue, and random source are untouched.
+func (e *Engine) Reset() { e.stopped = false }
 
 func (e *Engine) peek() (time.Duration, bool) {
 	for e.queue.Len() > 0 {
@@ -207,10 +218,12 @@ func (t *Ticker) tick() {
 	if t.stopped {
 		return
 	}
+	// Re-arm before invoking the callback so that t.handle always refers
+	// to the pending next tick: a Stop issued from inside fn cancels that
+	// live handle directly instead of a stale one, and no re-armed event
+	// can leak past the stop.
+	t.handle = t.engine.After(t.period, t.tick)
 	t.fn()
-	if !t.stopped {
-		t.handle = t.engine.After(t.period, t.tick)
-	}
 }
 
 // Stop cancels future invocations.

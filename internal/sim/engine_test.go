@@ -141,10 +141,45 @@ func TestStop(t *testing.T) {
 	if count != 2 {
 		t.Errorf("ran %d events before stop, want 2", count)
 	}
-	// Run again resumes.
+	if !e.Stopped() {
+		t.Error("Stopped() = false after Stop")
+	}
+	// The stop is sticky: Run without Reset executes nothing.
+	e.Run()
+	if count != 2 {
+		t.Errorf("ran %d events while stopped, want 2", count)
+	}
+	// Reset clears the stop; Run resumes.
+	e.Reset()
 	e.Run()
 	if count != 5 {
-		t.Errorf("ran %d events after resume, want 5", count)
+		t.Errorf("ran %d events after Reset, want 5", count)
+	}
+}
+
+// A Stop issued before Run must not be dropped: nothing may execute until
+// Reset. This was the silent-reset bug — Run used to clear the flag on
+// entry.
+func TestStopBeforeRunIsSticky(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	mustSchedule(t, e, time.Second, func() { ran = true })
+	e.Stop()
+	e.Run()
+	if ran {
+		t.Error("stopped engine executed an event")
+	}
+	e.RunUntil(5 * time.Second)
+	if ran {
+		t.Error("stopped engine executed an event via RunUntil")
+	}
+	if e.Now() != 0 {
+		t.Errorf("stopped RunUntil advanced the clock to %v", e.Now())
+	}
+	e.Reset()
+	e.Run()
+	if !ran {
+		t.Error("event did not run after Reset")
 	}
 }
 
@@ -282,6 +317,32 @@ func TestTickerStopFromCallback(t *testing.T) {
 	e.Run()
 	if count != 2 {
 		t.Errorf("ticked %d times, want 2", count)
+	}
+	if e.Len() != 0 {
+		t.Errorf("stop from callback leaked %d pending events", e.Len())
+	}
+}
+
+// During the callback, the ticker's handle refers to the already-armed
+// next tick; Stop must cancel it immediately rather than leaving it to
+// fire once more.
+func TestTickerStopFromCallbackCancelsRearmedTick(t *testing.T) {
+	e := NewEngine(1)
+	var tk *Ticker
+	count := 0
+	tk, err := NewTicker(e, time.Second, func() {
+		count++
+		tk.Stop()
+		if e.Len() != 0 {
+			t.Errorf("re-armed tick still pending after Stop: Len = %d", e.Len())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if count != 1 {
+		t.Errorf("ticked %d times after immediate stop, want 1", count)
 	}
 }
 

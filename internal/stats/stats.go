@@ -13,6 +13,15 @@ import (
 // ErrEmpty is returned by summary functions that require at least one sample.
 var ErrEmpty = errors.New("stats: empty sample set")
 
+// ErrPercentile is returned by Percentile for a rank outside [0, 100] or NaN.
+var ErrPercentile = errors.New("stats: percentile out of range")
+
+// Contract: Mean, StdDev, and the Online accumulator report 0 (never an
+// error) when fewer observations are present than the statistic needs —
+// they feed running displays where a zero placeholder is correct. Min,
+// Max, and Percentile instead return ErrEmpty for an empty sample set,
+// because no placeholder value is safe for an extremum.
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -70,13 +79,16 @@ func Max(xs []float64) (float64, error) {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
-// interpolation between closest ranks. The input slice is not modified.
+// interpolation between closest ranks: p=0 is the minimum, p=100 the
+// maximum, and a single-element sample yields that element for every p.
+// The input slice is not modified. An empty sample returns ErrEmpty; a
+// NaN or out-of-range p returns ErrPercentile.
 func Percentile(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	if p < 0 || p > 100 {
-		return 0, errors.New("stats: percentile out of range")
+	if math.IsNaN(p) || p < 0 || p > 100 {
+		return 0, ErrPercentile
 	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
@@ -128,9 +140,12 @@ func (o *Online) N() int { return o.n }
 // Mean reports the running mean, or 0 with no observations.
 func (o *Online) Mean() float64 { return o.mean }
 
-// Variance reports the running population variance.
+// Variance reports the running population variance, or 0 with fewer than
+// two observations. Accumulated floating-point error can drive m2 a hair
+// below zero for near-constant series; clamp so Variance (and StdDev,
+// which takes its square root) never goes negative or NaN.
 func (o *Online) Variance() float64 {
-	if o.n < 2 {
+	if o.n < 2 || o.m2 <= 0 {
 		return 0
 	}
 	return o.m2 / float64(o.n)

@@ -224,3 +224,107 @@ func TestSampleDeterministic(t *testing.T) {
 		t.Errorf("same seed produced %v and %v", a, b)
 	}
 }
+
+// Table test over the documented edge-case contracts: empty inputs report
+// ErrEmpty where no placeholder is safe, p=0/100 hit the extremes, one
+// sample answers every rank, and bad ranks (including NaN) report
+// ErrPercentile.
+func TestPercentileEdgeCases(t *testing.T) {
+	tests := []struct {
+		name    string
+		xs      []float64
+		p       float64
+		want    float64
+		wantErr error
+	}{
+		{"empty", nil, 50, 0, ErrEmpty},
+		{"empty p0", []float64{}, 0, 0, ErrEmpty},
+		{"negative rank", []float64{1, 2}, -0.001, 0, ErrPercentile},
+		{"rank above 100", []float64{1, 2}, 100.001, 0, ErrPercentile},
+		{"NaN rank", []float64{1, 2}, math.NaN(), 0, ErrPercentile},
+		{"single p0", []float64{7}, 0, 7, nil},
+		{"single p50", []float64{7}, 50, 7, nil},
+		{"single p100", []float64{7}, 100, 7, nil},
+		{"pair p0 is min", []float64{9, 4}, 0, 4, nil},
+		{"pair p100 is max", []float64{9, 4}, 100, 9, nil},
+		{"pair interpolates", []float64{9, 4}, 50, 6.5, nil},
+		{"unsorted p25", []float64{5, 1, 4, 2, 3}, 25, 2, nil},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(tt.xs, tt.p)
+		if err != tt.wantErr {
+			t.Errorf("%s: err = %v, want %v", tt.name, err, tt.wantErr)
+			continue
+		}
+		if err == nil && math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("%s: Percentile = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+// Table test over the Online accumulator's small-n contracts and the
+// variance floor: n<2 reports zero variance, and no input sequence may
+// ever drive Variance (hence StdDev) negative or NaN.
+func TestOnlineEdgeCases(t *testing.T) {
+	tests := []struct {
+		name     string
+		xs       []float64
+		mean     float64
+		variance float64
+		min, max float64
+	}{
+		{"no observations", nil, 0, 0, 0, 0},
+		{"one observation", []float64{5}, 5, 0, 5, 5},
+		{"two equal", []float64{3, 3}, 3, 0, 3, 3},
+		{"two observations", []float64{2, 6}, 4, 4, 2, 6},
+		{"negative values", []float64{-4, -8}, -6, 4, -8, -4},
+	}
+	for _, tt := range tests {
+		var o Online
+		for _, x := range tt.xs {
+			o.Add(x)
+		}
+		if o.N() != len(tt.xs) {
+			t.Errorf("%s: N = %d", tt.name, o.N())
+		}
+		if math.Abs(o.Mean()-tt.mean) > 1e-12 {
+			t.Errorf("%s: Mean = %v, want %v", tt.name, o.Mean(), tt.mean)
+		}
+		if math.Abs(o.Variance()-tt.variance) > 1e-12 {
+			t.Errorf("%s: Variance = %v, want %v", tt.name, o.Variance(), tt.variance)
+		}
+		if o.Min() != tt.min || o.Max() != tt.max {
+			t.Errorf("%s: min/max = %v/%v, want %v/%v", tt.name, o.Min(), o.Max(), tt.min, tt.max)
+		}
+	}
+}
+
+// Property: variance and stddev are never negative or NaN, even for
+// near-constant series where Welford's m2 can round below zero.
+func TestOnlineVarianceNeverNegative(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := 1e15 * (rng.Float64() - 0.5)
+		var o Online
+		for i := 0; i < int(n)+2; i++ {
+			o.Add(base + 1e-9*rng.Float64())
+		}
+		v := o.Variance()
+		return v >= 0 && !math.IsNaN(v) && !math.IsNaN(o.StdDev())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStdDevSmallSamples(t *testing.T) {
+	if got := StdDev(nil); got != 0 {
+		t.Errorf("StdDev(nil) = %v, want 0", got)
+	}
+	if got := StdDev([]float64{4}); got != 0 {
+		t.Errorf("StdDev(one) = %v, want 0", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}

@@ -251,6 +251,19 @@ func FromLog(l *record.Log, g workload.Group) (*Trace, error) {
 	return t, nil
 }
 
+// Clone returns a deep copy of the trace. Replay through cluster.Run never
+// mutates a trace (jobs are materialized fresh by Jobs), but paired and
+// parallel experiment runs clone anyway so that no run can alias another's
+// items — aliasing there would silently corrupt a paired comparison.
+func (t *Trace) Clone() *Trace {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	c.Items = append([]Item(nil), t.Items...)
+	return &c
+}
+
 // Duration reports the submission window length.
 func (t *Trace) Duration() time.Duration {
 	return time.Duration(t.DurationMillis) * time.Millisecond

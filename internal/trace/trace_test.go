@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -219,5 +220,32 @@ func TestGeneratePropertyValid(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	orig, err := Standard(workload.Group2, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := orig.Clone()
+	if !reflect.DeepEqual(orig, c) {
+		t.Fatal("clone differs from original")
+	}
+	if len(c.Items) > 0 && &c.Items[0] == &orig.Items[0] {
+		t.Fatal("clone aliases the original's items")
+	}
+	// Mutating the clone must not touch the original.
+	c.Items[0].WorkingSetMB += 100
+	c.Name = "mutant"
+	if orig.Items[0].WorkingSetMB == c.Items[0].WorkingSetMB {
+		t.Error("clone mutation leaked into original items")
+	}
+	if orig.Name == c.Name {
+		t.Error("clone mutation leaked into original header")
+	}
+	var nilTrace *Trace
+	if nilTrace.Clone() != nil {
+		t.Error("nil clone should be nil")
 	}
 }

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Full verification: vet, build, and the complete test suite under the
+# race detector. The race run also exercises the runner worker pool's
+# parallel-vs-sequential determinism tests (internal/experiments) and the
+# runner stress test (internal/runner).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+echo "== go build ./..."
+go build ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "verify: OK"
