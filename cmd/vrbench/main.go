@@ -7,6 +7,7 @@
 //	vrbench                      # everything
 //	vrbench -exp fig1            # Figure 1 only
 //	vrbench -exp ablations -level 3
+//	vrbench -exp faults -level 2 # failure-rate sweep with self-healing
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"vrcluster/internal/experiments"
+	"vrcluster/internal/faults"
 	"vrcluster/internal/runner"
 	"vrcluster/internal/workload"
 )
@@ -30,7 +32,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("vrbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, analytic, intervals, ablations, seeds")
+		exp      = fs.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, analytic, intervals, ablations, seeds, faults")
 		seed     = fs.Int64("seed", experiments.DefaultSeed, "trace generation seed")
 		quantum  = fs.Duration("quantum", 100*time.Millisecond, "CPU scheduling quantum")
 		level    = fs.Int("level", 3, "trace level for the ablation studies")
@@ -128,6 +130,14 @@ func run(args []string) error {
 			return err
 		}
 		return experiments.RenderSeedRows(out, rows)
+	case "faults":
+		fmt.Fprintf(out, "running fault sweep on trace level %d...\n\n", *level)
+		plan := faults.Plan{Crash: faults.Requeue, DropRate: 0.1, AbortRate: 0.2}
+		rows, err := experiments.FaultSweep(cfg(workload.Group1), *level, plan, nil)
+		if err != nil {
+			return err
+		}
+		return experiments.RenderFaultRows(out, rows)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}

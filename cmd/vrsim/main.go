@@ -11,6 +11,7 @@
 //	vrsim -group 2 -level 5 -policy gls -quantum 10ms
 //	vrsim -trace mytrace.json -policy vr-early -json
 //	vrsim -group 1 -levels 1,2,3,4,5 -policy vr -json
+//	vrsim -group 1 -level 2 -faults -mtbf 20m -crash requeue -lease 30s
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 
 	"vrcluster/internal/cluster"
 	"vrcluster/internal/core"
+	"vrcluster/internal/faults"
 	"vrcluster/internal/metrics"
 	"vrcluster/internal/policy"
 	"vrcluster/internal/runner"
@@ -59,6 +61,14 @@ func run(args []string) error {
 		jobsFile   = fs.String("jobscsv", "", "write per-job breakdowns to this CSV file")
 		levelsArg  = fs.String("levels", "", "comma-separated levels to run as independent simulations (overrides -level)")
 		parallel   = fs.Int("parallel", runner.DefaultParallelism(), "worker goroutines for -levels fan-out (1 = sequential)")
+		faultsOn   = fs.Bool("faults", false, "inject workstation faults (see -mtbf, -droprate, -abortrate)")
+		mtbf       = fs.Duration("mtbf", 30*time.Minute, "mean time between workstation failures (with -faults)")
+		mttr       = fs.Duration("mttr", 0, "mean workstation repair time (0 = mtbf/10)")
+		crashArg   = fs.String("crash", "requeue", "fate of jobs lost in a crash: kill or requeue")
+		dropRate   = fs.Float64("droprate", 0, "per-node, per-period probability of losing a load-information exchange")
+		abortRate  = fs.Float64("abortrate", 0, "per-attempt probability of a migration transfer dying mid-wire")
+		faultSeed  = fs.Int64("faultseed", 0, "fault schedule seed (0 = faults.DefaultSeed)")
+		lease      = fs.Duration("lease", 0, "reservation lease timeout for vr policies (0 = paper's drain bound)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +83,23 @@ func run(args []string) error {
 		largeFrac:  *largeFrac,
 		ageFactor:  *ageFactor,
 		floorFrac:  *floorFrac,
+		lease:      *lease,
+	}
+	if *faultsOn {
+		crash, err := faults.ParseCrashPolicy(*crashArg)
+		if err != nil {
+			return err
+		}
+		sc.faultPlan = faults.Plan{
+			Seed:      *faultSeed,
+			MTBF:      *mtbf,
+			MTTR:      *mttr,
+			Crash:     crash,
+			DropRate:  *dropRate,
+			AbortRate: *abortRate,
+		}
+	} else if *dropRate > 0 || *abortRate > 0 {
+		return fmt.Errorf("-droprate and -abortrate need -faults to take effect")
 	}
 
 	if *levelsArg != "" {
@@ -153,6 +180,8 @@ type simConfig struct {
 	largeFrac  float64
 	ageFactor  float64
 	floorFrac  float64
+	lease      time.Duration
+	faultPlan  faults.Plan
 	record     bool
 }
 
@@ -174,10 +203,12 @@ func (sc simConfig) simulate(tr *trace.Trace) (*cluster.Cluster, cluster.Schedul
 	if sc.record {
 		cfg.RecordInterval = 10 * time.Millisecond
 	}
+	cfg.Faults = sc.faultPlan
 	sched, err := buildPolicy(sc.policy, core.Options{
 		MaxReserved:      sc.maxRes,
 		LargeJobFraction: sc.largeFrac,
 		MinAgeFactor:     sc.ageFactor,
+		Lease:            sc.lease,
 	})
 	if err != nil {
 		return nil, nil, nil, err
@@ -318,4 +349,12 @@ func printResult(r *metrics.Result) {
 		r.BlockingEpisodes, r.Reservations, r.ReservationTime.Round(time.Second), r.ReservedMigration)
 	fmt.Printf(" migrations: %d remote submissions: %d failed landings: %d pending peak: %d suspensions: %d\n",
 		r.Migrations, r.RemoteSubmissions, r.FailedLandings, r.PendingPeak, r.Suspensions)
+	if r.Completed != r.Jobs || r.NodeCrashes > 0 || r.RefreshDrops > 0 ||
+		r.MigrationAborts > 0 || r.LeaseExpiries > 0 || r.DegradedAdmits > 0 {
+		fmt.Printf(" faults: completed %d killed %d | crashes %d recoveries %d requeued %d drops %d\n",
+			r.Completed, r.Killed, r.NodeCrashes, r.NodeRecoveries, r.JobsRequeued, r.RefreshDrops)
+		fmt.Printf(" self-healing: aborts %d retries %d give-ups %d lease expiries %d reselections %d degraded %d local + %d admits\n",
+			r.MigrationAborts, r.MigrationRetries, r.MigrationGiveUps,
+			r.LeaseExpiries, r.LeaseReselections, r.DegradedLocal, r.DegradedAdmits)
+	}
 }

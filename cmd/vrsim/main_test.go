@@ -72,6 +72,15 @@ func TestRunFlagErrors(t *testing.T) {
 	if err := run([]string{"-group", "9"}); err == nil {
 		t.Error("unknown group should fail")
 	}
+	if err := run([]string{"-faults", "-crash", "bogus"}); err == nil {
+		t.Error("unknown crash policy should fail")
+	}
+	if err := run([]string{"-droprate", "0.5"}); err == nil {
+		t.Error("fault knobs without -faults should fail")
+	}
+	if err := run([]string{"-faults", "-droprate", "1.5"}); err == nil {
+		t.Error("out-of-range drop rate should fail")
+	}
 }
 
 func TestRunSmallSimulation(t *testing.T) {
@@ -103,6 +112,17 @@ func TestRunSmallSimulation(t *testing.T) {
 	}
 	if err := run([]string{"-trace", path, "-policy", "vr", "-json"}); err != nil {
 		t.Fatalf("simulation failed: %v", err)
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	// End-to-end fault injection through the CLI path: crashes, stale
+	// exchanges, aborted transfers, and leases all enabled at once.
+	err := run([]string{"-group", "2", "-level", "1", "-policy", "vr", "-json",
+		"-faults", "-mtbf", "30m", "-mttr", "1m", "-crash", "requeue",
+		"-droprate", "0.1", "-abortrate", "0.2", "-faultseed", "7", "-lease", "30s"})
+	if err != nil {
+		t.Fatalf("faulty run failed: %v", err)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"vrcluster/internal/faults"
 	"vrcluster/internal/job"
 	"vrcluster/internal/loadinfo"
 	"vrcluster/internal/metrics"
@@ -71,6 +72,11 @@ type Config struct {
 	// the run.
 	RecordInterval time.Duration
 
+	// Faults configures deterministic fault injection (workstation
+	// crashes, dropped load exchanges, aborted migration transfers). The
+	// zero plan disables injection entirely.
+	Faults faults.Plan
+
 	Seed int64
 }
 
@@ -116,6 +122,9 @@ func (c *Config) Validate() error {
 	if c.MaxVirtualTime <= 0 {
 		return fmt.Errorf("cluster: max virtual time %v must be positive", c.MaxVirtualTime)
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -127,8 +136,8 @@ type pendingSubmission struct {
 
 // strandedMigration is a migrating job whose destination filled up while
 // it was in flight. With capacity holds (ExpectMigration) landings placed
-// by the cluster cannot fail, so this path is defensive: it catches
-// policies that attach jobs directly and any future placement race,
+// by the cluster cannot fail, this path catches destination crashes,
+// policies that attach jobs directly, and any future placement race,
 // charging the frozen wait as queuing so the time decomposition survives.
 type strandedMigration struct {
 	j       *job.Job
@@ -136,6 +145,12 @@ type strandedMigration struct {
 	cost    time.Duration // accumulated transfer cost, charged on landing
 	special bool
 	since   time.Duration // last moment accounted for (queue charge basis)
+
+	// strandedAt is when the job entered the pool (degradation bound);
+	// retransfer means the image never reached dstID (the transfer was
+	// abandoned mid-wire), so landing requires a fresh transfer.
+	strandedAt time.Duration
+	retransfer bool
 }
 
 // Cluster is a runnable simulated cluster.
@@ -155,6 +170,9 @@ type Cluster struct {
 	timedOut    bool
 	recorder    *record.Recorder
 	ranJobs     []*job.Job
+
+	injector *faults.Injector // non-nil while a fault plan is active
+	homes    map[int]int      // job ID -> home workstation (crash requeues)
 }
 
 // New assembles a cluster around a scheduling policy.
@@ -263,6 +281,10 @@ func (c *Cluster) Run(tr *trace.Trace) (*metrics.Result, error) {
 	}
 	c.outstanding = len(jobs)
 	c.ranJobs = jobs
+	c.homes = make(map[int]int, len(jobs))
+	for i, j := range jobs {
+		c.homes[j.ID] = tr.Items[i].Home
+	}
 
 	// Arrivals.
 	for i, j := range jobs {
@@ -283,6 +305,26 @@ func (c *Cluster) Run(tr *trace.Trace) (*metrics.Result, error) {
 			runErr = err
 			c.engine.Stop()
 		}
+	}
+
+	if c.cfg.Faults.Active() {
+		inj, err := faults.NewInjector(c.engine, c.cfg.Faults, len(c.nodes), faults.Hooks{
+			Crash: func(id int) {
+				if err := c.crashNode(id); err != nil {
+					fail(err)
+				}
+			},
+			Recover: func(id int) {
+				if err := c.recoverNode(id); err != nil {
+					fail(err)
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.injector = inj
+		inj.Start()
 	}
 
 	quantumTicker, err := sim.NewTicker(c.engine, c.cfg.Quantum, func() {
@@ -314,11 +356,7 @@ func (c *Cluster) Run(tr *trace.Trace) (*metrics.Result, error) {
 	defer sampleTicker.Stop()
 
 	if c.cfg.RecordInterval > 0 {
-		homes := make(map[int]int, len(jobs))
-		for i, j := range jobs {
-			homes[j.ID] = tr.Items[i].Home
-		}
-		rec, err := record.NewRecorder(tr.Name, c.cfg.RecordInterval, len(c.nodes), jobs, homes)
+		rec, err := record.NewRecorder(tr.Name, c.cfg.RecordInterval, len(c.nodes), jobs, c.homes)
 		if err != nil {
 			return nil, err
 		}
@@ -428,26 +466,40 @@ func (c *Cluster) Migrate(j *job.Job, dstID int, special bool) error {
 		c.col.ReservedMigration++
 	}
 	_ = c.board.NotePlacement(dstID, demand)
-	c.startTransfer(j, dstID, demand, 0, special)
+	c.startTransfer(j, dstID, demand, 0, special, 1)
 	return nil
 }
 
 // startTransfer ships a frozen job's memory image to dstID, landing it
 // when the transfer completes. priorCost accumulates transfer time from
-// earlier legs (retargeted strandings). On a shared network the transfer
-// contends with other in-flight migrations.
-func (c *Cluster) startTransfer(j *job.Job, dstID int, demandMB float64, priorCost time.Duration, special bool) {
+// earlier legs (retargeted strandings and aborted attempts); attempt is the
+// 1-based try number for fault-injected aborts. On a shared network the
+// transfer contends with other in-flight migrations.
+func (c *Cluster) startTransfer(j *job.Job, dstID int, demandMB float64, priorCost time.Duration, special bool, attempt int) {
+	abort := false
+	frac := 0.0
+	if c.injector != nil {
+		abort, frac = c.injector.AbortMigration()
+	}
 	r := c.net.SubmissionCost()
 	if c.link == nil {
-		cost := priorCost + c.net.MigrationCost(demandMB)
-		c.engine.After(c.net.MigrationCost(demandMB), func() {
+		full := c.net.MigrationCost(demandMB)
+		if abort {
+			partial := time.Duration(frac * float64(full))
+			c.engine.After(partial, func() {
+				c.migrationAborted(j, dstID, demandMB, priorCost+partial, special, attempt)
+			})
+			return
+		}
+		cost := priorCost + full
+		c.engine.After(full, func() {
 			c.landMigration(j, dstID, cost, special)
 		})
 		return
 	}
 	// Fixed remote-execution setup cost first, then the contended wire.
 	c.engine.After(r, func() {
-		err := c.link.Start(demandMB, func(elapsed time.Duration) {
+		id, err := c.link.Start(demandMB, func(elapsed time.Duration) {
 			c.landMigration(j, dstID, priorCost+r+elapsed, special)
 		})
 		if err != nil {
@@ -455,9 +507,54 @@ func (c *Cluster) startTransfer(j *job.Job, dstID int, demandMB float64, priorCo
 			// retried rather than lost.
 			c.col.FailedLandings++
 			c.stranded = append(c.stranded, strandedMigration{
-				j: j, dstID: dstID, cost: priorCost + r, special: special, since: c.engine.Now(),
+				j: j, dstID: dstID, cost: priorCost + r, special: special,
+				since: c.engine.Now(), strandedAt: c.engine.Now(), retransfer: true,
 			})
+			return
 		}
+		if !abort {
+			return
+		}
+		// The fault strikes when an uncontended transfer would be frac
+		// complete. Under contention the transfer is still in flight then
+		// and dies partway; if it somehow finished first, the fault
+		// misses and Cancel reports false.
+		wire := c.net.MigrationCost(demandMB) - r
+		c.engine.After(time.Duration(frac*float64(wire)), func() {
+			elapsed, ok := c.link.Cancel(id)
+			if !ok {
+				return
+			}
+			c.migrationAborted(j, dstID, demandMB, priorCost+r+elapsed, special, attempt)
+		})
+	})
+}
+
+// migrationAborted handles a transfer that died on the wire: the consumed
+// wire time is sunk into the job's migration cost, and the attempt is
+// retried to the same destination (whose capacity hold is still in place)
+// after an exponential backoff charged in simulated time. Past the retry
+// budget the hold is dropped and the job joins the stranded pool for
+// retargeting at the next control period.
+func (c *Cluster) migrationAborted(j *job.Job, dstID int, demandMB float64, cost time.Duration, special bool, attempt int) {
+	c.col.MigrationAborts++
+	plan := c.injector.Plan()
+	if attempt < plan.MaxRetries {
+		c.col.MigrationRetries++
+		backoff := plan.Backoff(attempt)
+		c.engine.After(backoff, func() {
+			_ = j.AddFrozenQueue(backoff)
+			c.startTransfer(j, dstID, demandMB, cost, special, attempt+1)
+		})
+		return
+	}
+	c.col.MigrationGiveUps++
+	if n, err := c.Node(dstID); err == nil {
+		_ = n.CancelExpected(j.ID)
+	}
+	c.stranded = append(c.stranded, strandedMigration{
+		j: j, dstID: dstID, cost: cost, special: special,
+		since: c.engine.Now(), strandedAt: c.engine.Now(), retransfer: true,
 	})
 }
 
@@ -468,8 +565,52 @@ func (c *Cluster) landMigration(j *job.Job, dstID int, cost time.Duration, speci
 	}
 	c.col.FailedLandings++
 	c.stranded = append(c.stranded, strandedMigration{
-		j: j, dstID: dstID, cost: cost, special: special, since: c.engine.Now(),
+		j: j, dstID: dstID, cost: cost, special: special,
+		since: c.engine.Now(), strandedAt: c.engine.Now(),
 	})
+}
+
+// crashNode fails one workstation: resident jobs are lost and either killed
+// outright or resubmitted from their home workstations, per the fault
+// plan's crash policy.
+func (c *Cluster) crashNode(id int) error {
+	now := c.engine.Now()
+	lost, err := c.nodes[id].Crash(now)
+	if err != nil {
+		return err
+	}
+	c.col.NodeCrashes++
+	policy := c.injector.Plan().Crash
+	for _, j := range lost {
+		switch policy {
+		case faults.Requeue:
+			if err := j.Requeue(now); err != nil {
+				return err
+			}
+			c.col.JobsRequeued++
+			c.submit(j, c.homes[j.ID])
+		default:
+			if err := j.Kill(now); err != nil {
+				return err
+			}
+			c.col.JobsKilled++
+			c.outstanding--
+		}
+	}
+	if c.outstanding == 0 {
+		c.engine.Stop()
+	}
+	return nil
+}
+
+// recoverNode repairs a crashed workstation; it rejoins the board at the
+// next successful load-information exchange.
+func (c *Cluster) recoverNode(id int) error {
+	if err := c.nodes[id].Recover(); err != nil {
+		return err
+	}
+	c.col.NodeRecoveries++
+	return nil
 }
 
 // quantumTick advances every workstation by one scheduling quantum.
@@ -495,12 +636,23 @@ func (c *Cluster) quantumTick() error {
 // stranded migrations and blocked submissions against the updated state.
 func (c *Cluster) controlTick() error {
 	now := c.engine.Now()
-	if err := c.board.Refresh(now, c.nodes); err != nil {
+	var drop func(id int) bool
+	if c.injector != nil {
+		drop = func(id int) bool {
+			if c.injector.DropRefresh(id) {
+				c.col.RefreshDrops++
+				return true
+			}
+			return false
+		}
+	}
+	if err := c.board.RefreshWith(now, c.nodes, drop); err != nil {
 		return err
 	}
 	c.sched.OnControl(c, now)
 	c.retryStranded(now)
 	c.retryPending()
+	c.degradePending(now)
 	if len(c.pending) > c.col.PendingPeak {
 		c.col.PendingPeak = len(c.pending)
 	}
@@ -518,25 +670,107 @@ func (c *Cluster) retryStranded(now time.Duration) {
 			_ = s.j.AddFrozenQueue(now - s.since)
 			s.since = now
 		}
+		// If the image reached the destination, try to land it there.
 		dst := c.nodes[s.dstID]
-		if dst.HasSlot() && (s.special || !dst.Reserved()) {
+		if !s.retransfer && dst.HasSlot() && (s.special || !dst.Reserved()) {
 			if err := dst.AttachMigrated(s.j, s.cost, s.special, now); err == nil {
 				continue
 			}
 		}
-		// Retarget: a fresh transfer to a new qualified node, holding
-		// its capacity for the flight.
+		// Retarget: a fresh transfer to a qualified node, holding its
+		// capacity for the flight. A landed-but-unattachable image
+		// excludes its current host; a lost image may retry anywhere.
 		demand := s.j.MemoryDemandMB()
-		if id, ok := c.board.BestDestination(demand, map[int]bool{s.dstID: true}); ok {
+		exclude := map[int]bool{}
+		if !s.retransfer {
+			exclude[s.dstID] = true
+		}
+		if id, ok := c.board.BestDestination(demand, exclude); ok {
 			if err := c.nodes[id].ExpectMigration(s.j.ID, demand); err == nil {
 				_ = c.board.NotePlacement(id, demand)
-				c.startTransfer(s.j, id, demand, s.cost, s.special)
+				c.startTransfer(s.j, id, demand, s.cost, s.special, 1)
 				continue
+			}
+		}
+		// Graceful degradation: past the wait bound, land on the least
+		// busy live workstation regardless of memory pressure — the job
+		// pages locally instead of wedging the run.
+		if limit, ok := c.degradeLimit(); ok && now-s.strandedAt > limit {
+			if id, ok := c.degradeTarget(s.dstID); ok {
+				if !s.retransfer && id == s.dstID {
+					if err := dst.AttachMigrated(s.j, s.cost, s.special, now); err == nil {
+						c.col.DegradedAdmits++
+						continue
+					}
+				} else if err := c.nodes[id].ExpectMigration(s.j.ID, demand); err == nil {
+					c.col.DegradedAdmits++
+					_ = c.board.NotePlacement(id, demand)
+					c.startTransfer(s.j, id, demand, s.cost, s.special, 1)
+					continue
+				}
 			}
 		}
 		remaining = append(remaining, s)
 	}
 	c.stranded = remaining
+}
+
+// degradeLimit reports the graceful-degradation wait bound, if enabled.
+func (c *Cluster) degradeLimit() (time.Duration, bool) {
+	if c.injector == nil {
+		return 0, false
+	}
+	limit := c.injector.Plan().DegradeAfter
+	return limit, limit > 0
+}
+
+// degradeTarget picks a live, unreserved workstation with a free slot for a
+// degraded placement: the submitter's preferred node if usable, otherwise
+// the one running the fewest jobs (lowest ID on ties). Memory pressure is
+// deliberately ignored — a degraded job pages locally.
+func (c *Cluster) degradeTarget(prefer int) (int, bool) {
+	if prefer >= 0 && prefer < len(c.nodes) {
+		if p := c.nodes[prefer]; !p.Down() && !p.Reserved() && p.HasSlot() {
+			return prefer, true
+		}
+	}
+	best, bestJobs, found := -1, 0, false
+	for _, n := range c.nodes {
+		if n.Down() || n.Reserved() || !n.HasSlot() {
+			continue
+		}
+		if !found || n.NumJobs() < bestJobs {
+			best, bestJobs, found = n.ID(), n.NumJobs(), true
+		}
+	}
+	return best, found
+}
+
+// degradePending force-admits blocked submissions that have waited past
+// the fault plan's degradation bound, so crashed-away capacity cannot
+// wedge the cluster: the job runs with local paging instead of waiting for
+// an unpressured slot that may never come back.
+func (c *Cluster) degradePending(now time.Duration) {
+	limit, ok := c.degradeLimit()
+	if !ok || len(c.pending) == 0 {
+		return
+	}
+	remaining := c.pending[:0]
+	for _, p := range c.pending {
+		if now-p.j.EnqueuedAt() <= limit {
+			remaining = append(remaining, p)
+			continue
+		}
+		if id, ok := c.degradeTarget(p.home); ok {
+			if err := c.nodes[id].Admit(p.j, now); err == nil {
+				c.col.DegradedAdmits++
+				_ = c.board.NotePlacement(id, p.j.MemoryDemandMB())
+				continue
+			}
+		}
+		remaining = append(remaining, p)
+	}
+	c.pending = remaining
 }
 
 func (c *Cluster) retryPending() {

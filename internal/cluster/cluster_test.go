@@ -1,11 +1,14 @@
 package cluster_test
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
 	"vrcluster/internal/cluster"
+	"vrcluster/internal/faults"
 	"vrcluster/internal/memory"
+	"vrcluster/internal/metrics"
 	"vrcluster/internal/network"
 	"vrcluster/internal/node"
 	"vrcluster/internal/policy"
@@ -423,5 +426,167 @@ func TestNoRecordingByDefault(t *testing.T) {
 	}
 	if c.Recording() != nil {
 		t.Error("recording present without RecordInterval")
+	}
+}
+
+// faultTrace is a steady stream of medium jobs across 4 nodes, long enough
+// for injected crashes and transfer aborts to land mid-run.
+func faultTrace(t *testing.T, jobs int, seed int64) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Generate(trace.Config{
+		Name: "faulty", Group: workload.Group2, Sigma: 2, Mu: 2,
+		Jobs: jobs, Duration: 120 * time.Second, Nodes: 4, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestFaultsCrashKillPolicy(t *testing.T) {
+	cfg := smallCluster(4, 128, 4)
+	cfg.MaxVirtualTime = 12 * time.Hour
+	cfg.Faults = faults.Plan{MTBF: 60 * time.Second, MTTR: 10 * time.Second, Crash: faults.Kill}
+	c, err := cluster.New(cfg, policy.NewGLoadSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(faultTrace(t, 40, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeCrashes == 0 {
+		t.Fatal("no crashes injected with a 60s MTBF over a long run")
+	}
+	if res.Killed == 0 {
+		t.Error("kill policy lost no jobs despite crashes")
+	}
+	if res.Completed+res.Killed != res.Jobs {
+		t.Errorf("completed %d + killed %d != %d jobs", res.Completed, res.Killed, res.Jobs)
+	}
+	if res.NodeRecoveries > res.NodeCrashes {
+		t.Errorf("recoveries %d exceed crashes %d", res.NodeRecoveries, res.NodeCrashes)
+	}
+	for _, n := range c.Nodes() {
+		if n.NumJobs() != 0 {
+			t.Errorf("node %d still holds %d jobs", n.ID(), n.NumJobs())
+		}
+	}
+}
+
+func TestFaultsCrashRequeuePolicy(t *testing.T) {
+	cfg := smallCluster(4, 128, 4)
+	cfg.MaxVirtualTime = 12 * time.Hour
+	// The ISSUE's no-wedge bound is MTBF >= 10x the mean job runtime
+	// (~90s CPU here): below that, requeued work restarts faster than it
+	// can finish and the livelock is physical, not a scheduler bug.
+	cfg.Faults = faults.Plan{MTBF: 15 * time.Minute, MTTR: 30 * time.Second, Crash: faults.Requeue}
+	c, err := cluster.New(cfg, policy.NewGLoadSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(faultTrace(t, 40, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeCrashes == 0 {
+		t.Fatal("no crashes injected")
+	}
+	if res.JobsRequeued == 0 {
+		t.Error("requeue policy requeued nothing despite crashes")
+	}
+	if res.Killed != 0 || res.Completed != res.Jobs {
+		t.Errorf("requeue policy must finish every job: completed %d, killed %d of %d",
+			res.Completed, res.Killed, res.Jobs)
+	}
+	restarts := 0
+	for _, j := range c.RanJobs() {
+		restarts += j.Restarts()
+	}
+	if restarts != res.JobsRequeued {
+		t.Errorf("job restarts %d != requeue events %d", restarts, res.JobsRequeued)
+	}
+}
+
+func TestFaultsAbortedTransfersRetryAndComplete(t *testing.T) {
+	for _, shared := range []bool{false, true} {
+		cfg := smallCluster(2, 100, 4)
+		cfg.SharedNetwork = shared
+		cfg.MaxVirtualTime = 4 * time.Hour
+		cfg.Faults = faults.Plan{AbortRate: 0.7, MaxRetries: 5}
+		c, err := cluster.New(cfg, policy.NewGLoadSharing())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := testTrace(2,
+			item(0, 30*time.Second, 70, 0),
+			item(0, 30*time.Second, 70, 0),
+		)
+		res, err := c.Run(tr)
+		if err != nil {
+			t.Fatalf("shared=%v: %v", shared, err)
+		}
+		if res.Migrations == 0 {
+			t.Fatalf("shared=%v: scenario should migrate", shared)
+		}
+		if res.MigrationAborts == 0 {
+			t.Errorf("shared=%v: no aborts at rate 0.7", shared)
+		}
+		if res.MigrationRetries == 0 {
+			t.Errorf("shared=%v: aborts never retried", shared)
+		}
+		if res.Completed != res.Jobs {
+			t.Errorf("shared=%v: completed %d of %d", shared, res.Completed, res.Jobs)
+		}
+		if res.TotalExec != res.TotalCPU+res.TotalPage+res.TotalQueue+res.TotalMig {
+			t.Errorf("shared=%v: Section 5 identity violated under aborts", shared)
+		}
+	}
+}
+
+func TestFaultsRefreshDropsCounted(t *testing.T) {
+	cfg := smallCluster(4, 128, 4)
+	cfg.MaxVirtualTime = 12 * time.Hour
+	cfg.Faults = faults.Plan{DropRate: 0.5}
+	c, err := cluster.New(cfg, policy.NewGLoadSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(faultTrace(t, 40, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RefreshDrops == 0 {
+		t.Error("no load exchanges dropped at rate 0.5")
+	}
+	if res.Completed != res.Jobs {
+		t.Errorf("completed %d of %d under stale vectors", res.Completed, res.Jobs)
+	}
+}
+
+// Determinism is a hard invariant: the same seed and fault plan must yield
+// byte-identical results.
+func TestFaultsDeterministic(t *testing.T) {
+	run := func() *metrics.Result {
+		cfg := smallCluster(4, 128, 4)
+		cfg.MaxVirtualTime = 12 * time.Hour
+		cfg.SharedNetwork = true
+		cfg.Faults = faults.Plan{
+			Seed: 11, MTBF: 15 * time.Minute, MTTR: 30 * time.Second,
+			Crash: faults.Requeue, DropRate: 0.2, AbortRate: 0.3,
+		}
+		c, err := cluster.New(cfg, policy.NewGLoadSharing())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(faultTrace(t, 40, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical faulty runs differ:\n%+v\n%+v", a, b)
 	}
 }

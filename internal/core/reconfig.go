@@ -75,6 +75,15 @@ type Options struct {
 	// pre-determined time interval").
 	ReserveTimeout time.Duration
 
+	// Lease, when positive, turns reservations into leases: it replaces
+	// ReserveTimeout as the drain bound, and an expired lease does not
+	// merely give the workstation back — the manager immediately
+	// re-selects the next most lightly loaded candidate so the blocked
+	// job is not abandoned. Leases also self-heal around crashes: a
+	// reserving or reserved workstation that fails is detected at the
+	// next control period and its lease is broken the same way.
+	Lease time.Duration
+
 	// LargeJobFraction defines which jobs qualify for reserved special
 	// service: demand must be at least this fraction of the mean user
 	// memory. The reconfiguration targets "jobs demanding large memory
@@ -145,6 +154,11 @@ type Stats struct {
 	Matured           int // reserving periods that completed their drain
 	ReleasedEarly     int // released because blocking disappeared
 	TimedOut          int // reserving periods abandoned at the timeout
+
+	VanishedVictims int // victim gone (finished or killed) before dispatch
+	LeaseExpired    int // leases released at their timeout
+	LeaseReselected int // expired or broken leases re-established elsewhere
+	CrashBroken     int // reservations broken by workstation crashes
 }
 
 // Manager is the reconfiguration routine's state: which workstations are
@@ -176,6 +190,12 @@ func NewManager(opts Options) (*Manager, error) {
 	}
 	if opts.ReserveTimeout < 0 {
 		return nil, fmt.Errorf("core: negative reserve timeout %v", opts.ReserveTimeout)
+	}
+	if opts.Lease < 0 {
+		return nil, fmt.Errorf("core: negative lease %v", opts.Lease)
+	}
+	if opts.Lease > 0 {
+		opts.ReserveTimeout = opts.Lease
 	}
 	if opts.LargeJobFraction == 0 {
 		opts.LargeJobFraction = DefaultLargeJobFraction
@@ -218,6 +238,9 @@ func (m *Manager) ReservedCount() int { return len(m.reserved) }
 // memory condition holds.
 func (m *Manager) OnBlocked(c *cluster.Cluster, now time.Duration, src *node.Node, victim *job.Job) {
 	if victim == nil || victim.State() != job.StateRunning {
+		// The victim finished (or was killed by a crash) between
+		// blocking detection and dispatch; there is nothing to migrate.
+		m.stats.VanishedVictims++
 		return
 	}
 	m.stats.BlockedEvents++
@@ -249,6 +272,7 @@ func (m *Manager) OnBlocked(c *cluster.Cluster, now time.Duration, src *node.Nod
 	}
 	if len(m.reserving)+len(m.reserved) >= m.opts.MaxReserved {
 		m.stats.CapReached++
+		c.Collector().DegradedLocal++
 		return
 	}
 	// Activation condition: the accumulated idle memory space in the
@@ -258,11 +282,13 @@ func (m *Manager) OnBlocked(c *cluster.Cluster, now time.Duration, src *node.Nod
 	board := c.Board()
 	if board.AccumulatedIdleMB(false) <= board.MeanUserMB() {
 		m.stats.IdleBelowMean++
+		c.Collector().DegradedLocal++
 		return
 	}
 	id, ok := board.ReservationCandidate(nil)
 	if !ok {
 		m.stats.NoCandidate++
+		c.Collector().DegradedLocal++
 		return
 	}
 	n, err := c.Node(id)
@@ -308,6 +334,19 @@ func (m *Manager) OnControl(c *cluster.Cluster, now time.Duration) {
 			delete(m.reserving, id)
 			continue
 		}
+		if n.Down() {
+			// The workstation crashed mid-drain (the crash itself
+			// cleared its reserved flag); break the lease and move
+			// the drain to the next candidate.
+			m.stats.CrashBroken++
+			c.Collector().LeaseExpiries++
+			if now > st.since {
+				c.Collector().ReservationTime += now - st.since
+			}
+			delete(m.reserving, id)
+			m.reselect(c, now, id, st.neededMB)
+			continue
+		}
 		if !blocked {
 			// The blocking problem disappeared during the
 			// reserving period; adaptively switch back.
@@ -318,10 +357,17 @@ func (m *Manager) OnControl(c *cluster.Cluster, now time.Duration) {
 		}
 		if now-st.since > m.opts.ReserveTimeout {
 			// The cluster is truly heavily loaded; give the
-			// workstation back.
+			// workstation back. Under a lease the blocked demand is
+			// not abandoned: the drain restarts on the next most
+			// lightly loaded candidate.
 			m.stats.TimedOut++
 			m.release(c, n, st.since, now)
 			delete(m.reserving, id)
+			if m.opts.Lease > 0 {
+				m.stats.LeaseExpired++
+				c.Collector().LeaseExpiries++
+				m.reselect(c, now, id, st.neededMB)
+			}
 			continue
 		}
 		if !m.drained(n, st) {
@@ -348,17 +394,51 @@ func (m *Manager) OnControl(c *cluster.Cluster, now time.Duration) {
 		}
 	}
 	// Release reserved workstations whose special service completed; the
-	// scheduler then views them as regular workstations again.
+	// scheduler then views them as regular workstations again. A crashed
+	// reserved workstation is released immediately — its assigned jobs
+	// were killed or requeued by the crash, so the special service can
+	// never finish on its own.
 	for _, id := range sortedIDs(m.reserved) {
 		rs := m.reserved[id]
+		n, err := c.Node(id)
+		if err != nil {
+			delete(m.reserved, id)
+			continue
+		}
+		if n.Down() {
+			m.stats.CrashBroken++
+			c.Collector().LeaseExpiries++
+			m.finishReserved(c, n, rs, now)
+			delete(m.reserved, id)
+			continue
+		}
 		if !allDone(rs.assigned) {
 			continue
 		}
-		if n, err := c.Node(id); err == nil {
-			m.finishReserved(c, n, rs, now)
-		}
+		m.finishReserved(c, n, rs, now)
 		delete(m.reserved, id)
 	}
+}
+
+// reselect re-establishes a broken or expired lease on the next most
+// lightly loaded candidate, carrying over the blocked demand the original
+// drain was serving.
+func (m *Manager) reselect(c *cluster.Cluster, now time.Duration, exclude int, neededMB float64) {
+	if len(m.reserving)+len(m.reserved) >= m.opts.MaxReserved {
+		return
+	}
+	id, ok := c.Board().ReservationCandidate(map[int]bool{exclude: true})
+	if !ok {
+		return
+	}
+	n, err := c.Node(id)
+	if err != nil || n.Reserved() || n.Down() {
+		return
+	}
+	n.SetReserved(true)
+	m.reserving[id] = &reservingState{since: now, neededMB: neededMB}
+	m.stats.LeaseReselected++
+	c.Collector().LeaseReselections++
 }
 
 // OnJobDone lets reservations release promptly on the completion that
@@ -544,9 +624,12 @@ func (m *Manager) blockingExists(c *cluster.Cluster) bool {
 	return false
 }
 
+// allDone reports whether every assigned job is terminal. A job killed by
+// a workstation crash counts: its special service can never resume, and
+// treating it as open would pin the reservation forever.
 func allDone(jobs []*job.Job) bool {
 	for _, j := range jobs {
-		if j.State() != job.StateDone {
+		if j.State() != job.StateDone && j.State() != job.StateKilled {
 			return false
 		}
 	}

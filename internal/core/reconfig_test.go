@@ -7,6 +7,7 @@ import (
 
 	"vrcluster/internal/cluster"
 	"vrcluster/internal/core"
+	"vrcluster/internal/job"
 
 	"vrcluster/internal/memory"
 	"vrcluster/internal/node"
@@ -442,5 +443,110 @@ func TestRandomWorkloadsRobustness(t *testing.T) {
 					seed, n.ID(), n.Reserved(), n.NumJobs(), n.ExpectedCount())
 			}
 		}
+	}
+}
+
+// Satellite: a victim can finish (or be killed by a crash) between blocking
+// detection and the reconfiguration dispatch; the manager must return early
+// and count it rather than migrating a terminal job.
+func TestVanishedVictimCounted(t *testing.T) {
+	v, err := core.NewVReconfiguration(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := smallCluster(t, 4, v)
+	mgr := v.Manager()
+
+	j, err := job.New(1, "t-sim", 10*time.Second, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.OnBlocked(c, time.Second, nil, j) // still pending: never ran
+	mgr.OnBlocked(c, time.Second, nil, nil)
+	if got := mgr.Stats().VanishedVictims; got != 2 {
+		t.Errorf("vanished victims = %d, want 2", got)
+	}
+	if got := mgr.Stats().BlockedEvents; got != 0 {
+		t.Errorf("blocked events = %d, vanished victims must not count", got)
+	}
+}
+
+func TestLeaseOptionValidation(t *testing.T) {
+	if _, err := core.NewManager(core.Options{Lease: -time.Second}); err == nil {
+		t.Error("negative lease should fail")
+	}
+	m, err := core.NewManager(core.Options{Lease: 7 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Options().ReserveTimeout; got != 7*time.Second {
+		t.Errorf("lease must bound the drain: timeout = %v, want 7s", got)
+	}
+	m, err = core.NewManager(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Options().Lease != 0 {
+		t.Error("lease must default to off")
+	}
+	if m.Options().ReserveTimeout != core.DefaultReserveTimeout {
+		t.Error("timeout default changed without a lease")
+	}
+}
+
+// A short lease under a persistent wedge expires and immediately re-selects
+// the next candidate instead of abandoning the blocked demand.
+func TestLeaseExpiryReselects(t *testing.T) {
+	v, err := core.NewVReconfiguration(core.Options{Lease: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := smallCluster(t, 12, v)
+	res, err := c.Run(wedgeTrace(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := v.Manager().Stats()
+	if st.LeaseExpired == 0 {
+		t.Fatalf("no lease expired under a 2s lease on the wedge: %+v", st)
+	}
+	if st.LeaseExpired != st.TimedOut {
+		t.Errorf("lease expiries %d != timeouts %d under a lease", st.LeaseExpired, st.TimedOut)
+	}
+	if st.LeaseReselected == 0 {
+		t.Errorf("expired leases never re-selected: %+v", st)
+	}
+	if res.LeaseExpiries != st.LeaseExpired {
+		t.Errorf("collector saw %d expiries, manager %d", res.LeaseExpiries, st.LeaseExpired)
+	}
+	if res.LeaseReselections != st.LeaseReselected {
+		t.Errorf("collector saw %d reselections, manager %d", res.LeaseReselections, st.LeaseReselected)
+	}
+	for _, n := range c.Nodes() {
+		if n.Reserved() {
+			t.Errorf("node %d still reserved after the run", n.ID())
+		}
+	}
+	if res.Completed != res.Jobs {
+		t.Errorf("completed %d of %d jobs", res.Completed, res.Jobs)
+	}
+}
+
+// DegradedLocal counts blocked jobs that stayed on their pressured node
+// (local paging) because no reservation could be established.
+func TestDegradedLocalCounted(t *testing.T) {
+	v, err := core.NewVReconfiguration(core.Options{MaxReserved: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := smallCluster(t, 12, v)
+	res, err := c.Run(wedgeTrace(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := v.Manager().Stats()
+	if want := st.CapReached + st.IdleBelowMean + st.NoCandidate; res.DegradedLocal != want {
+		t.Errorf("degraded-local = %d, want %d (cap %d + idle %d + no-candidate %d)",
+			res.DegradedLocal, want, st.CapReached, st.IdleBelowMean, st.NoCandidate)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"vrcluster/internal/faults"
 	"vrcluster/internal/workload"
 )
 
@@ -483,5 +484,79 @@ func TestGroupRunsSpeedupReporting(t *testing.T) {
 	}
 	if (&GroupRuns{}).Speedup() != 0 {
 		t.Error("zero-wall speedup should be 0")
+	}
+}
+
+// TestFaultSweepNoWedge is the robustness acceptance check: down to an
+// MTBF of 10x the mean job runtime, every job either completes or is
+// recorded killed, and the self-healing counters are visible.
+func TestFaultSweepNoWedge(t *testing.T) {
+	cfg := RunConfig{Group: workload.Group1, Quantum: 100 * time.Millisecond}
+	plan := faults.Plan{Crash: faults.Requeue, DropRate: 0.1, AbortRate: 0.2}
+	rows, err := FaultSweep(cfg, 1, plan, []float64{50, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		res := r.Result
+		if res.NodeCrashes == 0 {
+			t.Errorf("MTBF %v: no crashes injected", r.MTBF)
+		}
+		if res.Completed+res.Killed != res.Jobs {
+			t.Errorf("MTBF %v: %d completed + %d killed of %d", r.MTBF, res.Completed, res.Killed, res.Jobs)
+		}
+		if res.MigrationAborts == 0 {
+			t.Errorf("MTBF %v: no transfer aborts at rate 0.2", r.MTBF)
+		}
+		if res.RefreshDrops == 0 {
+			t.Errorf("MTBF %v: no exchange drops at rate 0.1", r.MTBF)
+		}
+	}
+	if rows[0].MTBF <= rows[1].MTBF {
+		t.Error("multiples must map to decreasing MTBF")
+	}
+	var buf bytes.Buffer
+	if err := RenderFaultRows(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fault sweep") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFaultSweepValidation(t *testing.T) {
+	cfg := RunConfig{Group: workload.Group1}
+	if _, err := FaultSweep(cfg, 0, faults.Plan{}, nil); err == nil {
+		t.Error("level 0 should fail")
+	}
+	if _, err := FaultSweep(cfg, 1, faults.Plan{}, []float64{-1}); err == nil {
+		t.Error("negative multiple should fail")
+	}
+	if _, err := FaultSweep(RunConfig{Group: 99}, 1, faults.Plan{}, nil); err == nil {
+		t.Error("bad group should fail")
+	}
+}
+
+// TestParallelFaultSweepMatchesSequential extends the parallel-vs-
+// sequential determinism guarantee to faulty runs: the same seed and
+// fault plan yield byte-identical results at any fan-out width.
+func TestParallelFaultSweepMatchesSequential(t *testing.T) {
+	plan := faults.Plan{Crash: faults.Requeue, DropRate: 0.1, AbortRate: 0.2}
+	seq := RunConfig{Group: workload.Group1, Quantum: 100 * time.Millisecond, Parallel: 1}
+	par := seq
+	par.Parallel = 4
+	a, err := FaultSweep(seq, 1, plan, []float64{50, 20, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultSweep(par, 1, plan, []float64{50, 20, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("fault sweep differs between sequential and parallel execution")
 	}
 }

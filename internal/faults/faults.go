@@ -1,0 +1,282 @@
+// Package faults is a deterministic, seed-driven fault-injection layer for
+// the cluster simulator. A Plan describes three failure dimensions of a
+// real cluster on a shared Ethernet:
+//
+//   - workstation crashes and repairs (exponential MTBF/MTTR per node),
+//     with a policy for the jobs lost in the crash (kill or requeue);
+//   - dropped load-information exchanges, leaving the board serving stale
+//     vectors for the affected workstations;
+//   - in-flight migration transfers aborted partway through their netlink
+//     transfer, with bounded exponential-backoff retries charged in
+//     simulated time.
+//
+// The Injector draws every fault from its own seeded random streams — one
+// per node for crash timing, one per node for exchange drops, one for
+// migration aborts — so a fault schedule is a pure function of the plan,
+// independent of any other randomness in the simulation and identical at
+// any parallel fan-out width.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vrcluster/internal/sim"
+)
+
+// CrashPolicy decides the fate of jobs resident on a crashed workstation.
+type CrashPolicy int
+
+// Crash policies.
+const (
+	// Kill terminates the lost jobs permanently; they are recorded as
+	// killed and never complete.
+	Kill CrashPolicy = iota
+	// Requeue resubmits the lost jobs from their home workstations; with
+	// no checkpointing they restart from scratch.
+	Requeue
+)
+
+// String names the policy for flags and reports.
+func (p CrashPolicy) String() string {
+	switch p {
+	case Kill:
+		return "kill"
+	case Requeue:
+		return "requeue"
+	default:
+		return fmt.Sprintf("crashpolicy(%d)", int(p))
+	}
+}
+
+// ParseCrashPolicy converts a flag value into a CrashPolicy.
+func ParseCrashPolicy(s string) (CrashPolicy, error) {
+	switch s {
+	case "kill":
+		return Kill, nil
+	case "requeue":
+		return Requeue, nil
+	default:
+		return 0, fmt.Errorf("faults: unknown crash policy %q (want kill or requeue)", s)
+	}
+}
+
+// Plan configures fault injection for one run. The zero value disables all
+// fault dimensions and every self-healing knob takes its default.
+type Plan struct {
+	// Seed drives the injector's private random streams. Zero picks
+	// DefaultSeed so a plan is never silently coupled to the cluster seed.
+	Seed int64
+
+	// MTBF is each workstation's mean time between failures (exponential);
+	// zero disables crashes. MTTR is the mean repair time, defaulting to
+	// MTBF/10. Crash picks what happens to the jobs lost in a crash.
+	MTBF  time.Duration
+	MTTR  time.Duration
+	Crash CrashPolicy
+
+	// DropRate is the per-node, per-control-period probability that the
+	// node's load-information exchange is lost, leaving its board vector
+	// stale until a later exchange succeeds.
+	DropRate float64
+
+	// AbortRate is the per-attempt probability that a migration transfer
+	// dies partway through its netlink transfer. An aborted attempt is
+	// retried from scratch after an exponential backoff, up to MaxRetries
+	// attempts; the backoff doubles per attempt starting at RetryBackoff
+	// and is charged to the frozen job as queuing delay in simulated time.
+	AbortRate    float64
+	MaxRetries   int
+	RetryBackoff time.Duration
+
+	// DegradeAfter bounds how long a blocked submission may wait once
+	// faults are active: past it, the job is force-admitted to the least
+	// loaded live workstation and degrades to local paging rather than
+	// wedging the cluster behind capacity that crashed away. Zero takes
+	// DefaultDegradeAfter; negative disables degradation.
+	DegradeAfter time.Duration
+}
+
+// Defaults for unset plan fields.
+const (
+	DefaultSeed         = 1
+	DefaultMaxRetries   = 3
+	DefaultRetryBackoff = time.Second
+	DefaultDegradeAfter = 30 * time.Second
+)
+
+// Validate fills defaults and rejects inconsistent plans.
+func (p *Plan) Validate() error {
+	if p.Seed == 0 {
+		p.Seed = DefaultSeed
+	}
+	if p.MTBF < 0 {
+		return fmt.Errorf("faults: negative MTBF %v", p.MTBF)
+	}
+	if p.MTTR < 0 {
+		return fmt.Errorf("faults: negative MTTR %v", p.MTTR)
+	}
+	if p.MTBF > 0 && p.MTTR == 0 {
+		p.MTTR = p.MTBF / 10
+	}
+	if p.Crash != Kill && p.Crash != Requeue {
+		return fmt.Errorf("faults: unknown crash policy %d", int(p.Crash))
+	}
+	if p.DropRate < 0 || p.DropRate > 1 {
+		return fmt.Errorf("faults: drop rate %v outside [0, 1]", p.DropRate)
+	}
+	if p.AbortRate < 0 || p.AbortRate > 1 {
+		return fmt.Errorf("faults: abort rate %v outside [0, 1]", p.AbortRate)
+	}
+	if p.MaxRetries == 0 {
+		p.MaxRetries = DefaultMaxRetries
+	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("faults: negative retry cap %d", p.MaxRetries)
+	}
+	if p.RetryBackoff == 0 {
+		p.RetryBackoff = DefaultRetryBackoff
+	}
+	if p.RetryBackoff < 0 {
+		return fmt.Errorf("faults: negative retry backoff %v", p.RetryBackoff)
+	}
+	if p.DegradeAfter == 0 {
+		p.DegradeAfter = DefaultDegradeAfter
+	}
+	return nil
+}
+
+// Active reports whether any fault dimension is enabled.
+func (p Plan) Active() bool {
+	return p.MTBF > 0 || p.DropRate > 0 || p.AbortRate > 0
+}
+
+// Backoff reports the retry delay before the given 1-based attempt:
+// RetryBackoff doubled per prior retry.
+func (p Plan) Backoff(attempt int) time.Duration {
+	d := p.RetryBackoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+	}
+	return d
+}
+
+// Hooks are the cluster-side effects of node fault events. The injector
+// decides *when* a workstation fails or recovers; the cluster decides what
+// that does to jobs, reservations, and metrics.
+type Hooks struct {
+	Crash   func(nodeID int)
+	Recover func(nodeID int)
+}
+
+// Injector schedules a plan's faults on a simulation engine.
+type Injector struct {
+	engine *sim.Engine
+	plan   Plan
+	hooks  Hooks
+
+	crashRNG []*rand.Rand // per-node crash/repair timing
+	dropRNG  []*rand.Rand // per-node exchange-drop draws
+	migRNG   *rand.Rand   // migration-abort draws, in transfer-start order
+}
+
+// stream derives an independent deterministic random stream from the plan
+// seed, a dimension salt, and a node index (SplitMix64-style mixing).
+func stream(seed int64, salt, id int) *rand.Rand {
+	x := uint64(seed) + uint64(salt+1)*0x9E3779B97F4A7C15 + uint64(id+1)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return rand.New(rand.NewSource(int64(x)))
+}
+
+// NewInjector builds an injector for nodes workstations. Call Start to arm
+// the crash schedule. The plan must be validated.
+func NewInjector(engine *sim.Engine, plan Plan, nodes int, hooks Hooks) (*Injector, error) {
+	if engine == nil {
+		return nil, errors.New("faults: nil engine")
+	}
+	if nodes <= 0 {
+		return nil, fmt.Errorf("faults: node count %d must be positive", nodes)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{
+		engine:   engine,
+		plan:     plan,
+		hooks:    hooks,
+		crashRNG: make([]*rand.Rand, nodes),
+		dropRNG:  make([]*rand.Rand, nodes),
+		migRNG:   stream(plan.Seed, 2, 0),
+	}
+	for i := 0; i < nodes; i++ {
+		in.crashRNG[i] = stream(plan.Seed, 0, i)
+		in.dropRNG[i] = stream(plan.Seed, 1, i)
+	}
+	return in, nil
+}
+
+// Plan returns the injector's validated plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Start arms each workstation's crash/repair chain: the first failure is
+// drawn from the node's private stream, each crash schedules its repair,
+// and each repair schedules the next failure.
+func (in *Injector) Start() {
+	if in.plan.MTBF <= 0 {
+		return
+	}
+	for id := range in.crashRNG {
+		in.armCrash(id)
+	}
+}
+
+func (in *Injector) armCrash(id int) {
+	d := time.Duration(in.crashRNG[id].ExpFloat64() * float64(in.plan.MTBF))
+	in.engine.After(d, func() {
+		if in.hooks.Crash != nil {
+			in.hooks.Crash(id)
+		}
+		in.armRecover(id)
+	})
+}
+
+func (in *Injector) armRecover(id int) {
+	d := time.Duration(in.crashRNG[id].ExpFloat64() * float64(in.plan.MTTR))
+	in.engine.After(d, func() {
+		if in.hooks.Recover != nil {
+			in.hooks.Recover(id)
+		}
+		in.armCrash(id)
+	})
+}
+
+// DropRefresh reports whether this control period's load-information
+// exchange from nodeID is lost. Each node consumes one draw from its
+// private stream per period, keeping the schedule independent of how other
+// nodes fare.
+func (in *Injector) DropRefresh(nodeID int) bool {
+	if in.plan.DropRate <= 0 || nodeID < 0 || nodeID >= len(in.dropRNG) {
+		return false
+	}
+	return in.dropRNG[nodeID].Float64() < in.plan.DropRate
+}
+
+// AbortMigration decides one migration attempt's fate: whether it dies on
+// the wire and, if so, how far through the transfer (a fraction in
+// [0.05, 0.95]). Draws come from a single stream in transfer-start order,
+// which the engine makes deterministic.
+func (in *Injector) AbortMigration() (bool, float64) {
+	if in.plan.AbortRate <= 0 {
+		return false, 0
+	}
+	if in.migRNG.Float64() >= in.plan.AbortRate {
+		return false, 0
+	}
+	return true, 0.05 + 0.9*in.migRNG.Float64()
+}

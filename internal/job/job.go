@@ -28,6 +28,10 @@ const (
 	StateMigrating
 	// StateDone means the job has received all of its CPU demand.
 	StateDone
+	// StateKilled means the job was terminated by a workstation failure
+	// and will never complete (the fault plan's kill policy). It is a
+	// terminal state like StateDone.
+	StateKilled
 )
 
 // String returns the lowercase state name.
@@ -41,6 +45,8 @@ func (s State) String() string {
 		return "migrating"
 	case StateDone:
 		return "done"
+	case StateKilled:
+		return "killed"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -94,7 +100,14 @@ type Job struct {
 	startAt  time.Duration
 	doneAt   time.Duration
 	migrated int
+	restarts int
 	node     int // current workstation ID, -1 when none
+
+	// queueFrom is the moment the current admission wait began: submission
+	// time initially, the requeue time after a crash restart. Start charges
+	// queue delay from here, so a restarted job is not double-charged for
+	// the wait it already served.
+	queueFrom time.Duration
 }
 
 // New validates and constructs a job. CPUDemand must be positive; phases
@@ -128,6 +141,7 @@ func New(id int, program string, cpuDemand time.Duration, phases []Phase, submit
 		SubmitAt:  submitAt,
 		state:     StatePending,
 		node:      -1,
+		queueFrom: submitAt,
 	}, nil
 }
 
@@ -177,7 +191,7 @@ func (j *Job) Age(now time.Duration) time.Duration {
 		return 0
 	}
 	end := now
-	if j.state == StateDone {
+	if j.state == StateDone || j.state == StateKilled {
 		end = j.doneAt
 	}
 	return end - j.startAt
@@ -241,7 +255,7 @@ func (j *Job) Start(nodeID int, now time.Duration) error {
 	j.startAt = now
 	// Time spent waiting for admission counts as queuing delay, exactly
 	// as blocked submissions do in the paper's blocking problem.
-	j.acct.Queue += now - j.SubmitAt
+	j.acct.Queue += now - j.queueFrom
 	return nil
 }
 
@@ -270,6 +284,52 @@ func (j *Job) CompleteMigration(nodeID int, cost time.Duration) error {
 	j.migrated++
 	return nil
 }
+
+// Kill terminates a running or frozen job permanently: its workstation
+// crashed (or its migration was abandoned) under a fault plan whose policy
+// does not resubmit work. Killed is terminal; the job never completes.
+func (j *Job) Kill(now time.Duration) error {
+	if j.state != StateRunning && j.state != StateMigrating {
+		return fmt.Errorf("job %d: kill from state %v", j.ID, j.state)
+	}
+	j.state = StateKilled
+	j.node = -1
+	j.doneAt = now
+	return nil
+}
+
+// KilledAt reports when the job was killed; valid only once killed.
+func (j *Job) KilledAt() (time.Duration, error) {
+	if j.state != StateKilled {
+		return 0, errors.New("job: not killed")
+	}
+	return j.doneAt, nil
+}
+
+// Requeue returns a running or frozen job to the pending state after its
+// workstation crashed: without checkpointing the restarted execution begins
+// from scratch, so CPU progress resets while the accumulated time breakdown
+// keeps the lost work on the books. Queue delay for the new admission wait
+// is charged from now.
+func (j *Job) Requeue(now time.Duration) error {
+	if j.state != StateRunning && j.state != StateMigrating {
+		return fmt.Errorf("job %d: requeue from state %v", j.ID, j.state)
+	}
+	j.state = StatePending
+	j.node = -1
+	j.cpuDone = 0
+	j.restarts++
+	j.queueFrom = now
+	return nil
+}
+
+// Restarts reports how many times the job was requeued by node crashes.
+func (j *Job) Restarts() int { return j.restarts }
+
+// EnqueuedAt reports when the job's current admission wait began: its
+// submission time, or the requeue time after a crash restart. The cluster's
+// graceful-degradation bound measures blocked-submission waits from here.
+func (j *Job) EnqueuedAt() time.Duration { return j.queueFrom }
 
 // StartWait reports the delay between submission and first admission —
 // the share of queuing delay caused by blocked or remote submissions

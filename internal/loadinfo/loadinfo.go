@@ -21,6 +21,7 @@ type Entry struct {
 	UserMB    float64
 	Pressured bool
 	Reserved  bool
+	Down      bool
 	HasSlot   bool
 	FaultRate float64
 	// IOActiveJobs and CacheAvailability are the node's I/O load status.
@@ -57,10 +58,21 @@ func (b *Board) Len() int { return len(b.entries) }
 
 // Refresh snapshots every node's current status at virtual time now.
 func (b *Board) Refresh(now time.Duration, nodes []*node.Node) error {
+	return b.RefreshWith(now, nodes, nil)
+}
+
+// RefreshWith snapshots node statuses at virtual time now, skipping nodes
+// for which drop returns true: their load-information exchange was lost on
+// the wire, so the board keeps serving the previous (stale) vector — the
+// staleness failure mode a fault plan injects.
+func (b *Board) RefreshWith(now time.Duration, nodes []*node.Node, drop func(id int) bool) error {
 	if len(nodes) != len(b.entries) {
 		return fmt.Errorf("loadinfo: %d nodes, board sized for %d", len(nodes), len(b.entries))
 	}
 	for i, n := range nodes {
+		if drop != nil && drop(n.ID()) {
+			continue
+		}
 		b.entries[i] = Entry{
 			NodeID:            n.ID(),
 			Jobs:              n.NumJobs(),
@@ -69,6 +81,7 @@ func (b *Board) Refresh(now time.Duration, nodes []*node.Node) error {
 			UserMB:            n.Memory().UserMB(),
 			Pressured:         n.Pressured(),
 			Reserved:          n.Reserved(),
+			Down:              n.Down(),
 			HasSlot:           n.HasSlot(),
 			FaultRate:         n.Memory().FaultRate(),
 			IOActiveJobs:      n.IOActiveJobs(),
@@ -96,11 +109,12 @@ func (b *Board) Entries() []Entry {
 
 // AccumulatedIdleMB sums idle memory across nodes. When excludeReserved is
 // set, reserved workstations do not contribute — their memory is already
-// committed to special service.
+// committed to special service. Crashed workstations never contribute:
+// their memory is unreachable, however idle it looks.
 func (b *Board) AccumulatedIdleMB(excludeReserved bool) float64 {
 	sum := 0.0
 	for _, e := range b.entries {
-		if excludeReserved && e.Reserved {
+		if e.Down || (excludeReserved && e.Reserved) {
 			continue
 		}
 		sum += e.IdleMB
@@ -152,7 +166,7 @@ func (b *Board) BestDestination(demandMB float64, exclude map[int]bool) (int, bo
 	var bestIdle float64
 	bestJobs := 0
 	for _, e := range b.entries {
-		if e.Reserved || !e.HasSlot || e.Pressured || exclude[e.NodeID] {
+		if e.Reserved || e.Down || !e.HasSlot || e.Pressured || exclude[e.NodeID] {
 			continue
 		}
 		if e.IdleMB < demandMB {
@@ -181,7 +195,7 @@ func (b *Board) ReservationCandidate(exclude map[int]bool) (int, bool) {
 	bestJobs := 0
 	var bestIdle float64
 	for _, e := range b.entries {
-		if e.Reserved || exclude[e.NodeID] {
+		if e.Reserved || e.Down || exclude[e.NodeID] {
 			continue
 		}
 		better := !found ||

@@ -42,6 +42,20 @@ type Collector struct {
 	FailedLandings    int
 	PendingPeak       int
 	Suspensions       int
+
+	// Fault-injection and self-healing counters (internal/faults).
+	NodeCrashes       int // workstation failures injected
+	NodeRecoveries    int // workstation repairs
+	JobsKilled        int // jobs lost to crashes under the kill policy
+	JobsRequeued      int // jobs resubmitted after crashes
+	RefreshDrops      int // load-information exchanges lost (stale vectors)
+	MigrationAborts   int // transfer attempts that died on the wire
+	MigrationRetries  int // backoff retries of aborted transfers
+	MigrationGiveUps  int // transfers abandoned after the retry budget
+	LeaseExpiries     int // reservation leases released by timeout or crash
+	LeaseReselections int // leases re-established on the next candidate
+	DegradedLocal     int // blocked jobs degraded to local paging
+	DegradedAdmits    int // pending submissions force-admitted past the wait bound
 }
 
 // DefaultSampleInterval matches the paper's 1-second collection of idle
@@ -140,6 +154,11 @@ type Result struct {
 	Policy string
 	Jobs   int
 
+	// Completed and Killed partition Jobs under a fault plan whose crash
+	// policy kills work; without faults Completed == Jobs.
+	Completed int
+	Killed    int
+
 	// Totals over all jobs (the Section 5 quantities): TotalExec is
 	// sum of per-job wall-clock execution times and decomposes into the
 	// four components.
@@ -171,11 +190,26 @@ type Result struct {
 	PendingPeak       int
 	Suspensions       int
 
+	NodeCrashes       int
+	NodeRecoveries    int
+	JobsRequeued      int
+	RefreshDrops      int
+	MigrationAborts   int
+	MigrationRetries  int
+	MigrationGiveUps  int
+	LeaseExpiries     int
+	LeaseReselections int
+	DegradedLocal     int
+	DegradedAdmits    int
+
 	collector *Collector
 }
 
 // BuildResult summarizes completed jobs plus the collector's samples. Every
-// job must be done.
+// job must be terminal: done, or killed by an injected workstation crash.
+// Killed jobs contribute their consumed time to the totals (the cluster
+// really spent it) but are excluded from the per-job slowdown statistics,
+// which are defined only for completed work.
 func BuildResult(traceName, policy string, jobs []*job.Job, col *Collector) (*Result, error) {
 	if len(jobs) == 0 {
 		return nil, errors.New("metrics: no jobs to summarize")
@@ -183,8 +217,25 @@ func BuildResult(traceName, policy string, jobs []*job.Job, col *Collector) (*Re
 	r := &Result{Trace: traceName, Policy: policy, Jobs: len(jobs), collector: col}
 	var slow stats.Online
 	for _, j := range jobs {
-		if j.State() != job.StateDone {
-			return nil, fmt.Errorf("metrics: job %d not done (%v)", j.ID, j.State())
+		switch j.State() {
+		case job.StateDone:
+			r.Completed++
+		case job.StateKilled:
+			r.Killed++
+			b := j.Breakdown()
+			r.TotalCPU += b.CPU
+			r.TotalPage += b.Page
+			r.TotalQueue += b.Queue
+			r.TotalMig += b.Migration
+			if at, err := j.KilledAt(); err == nil {
+				r.TotalExec += at - j.SubmitAt
+				if at > r.Makespan {
+					r.Makespan = at
+				}
+			}
+			continue
+		default:
+			return nil, fmt.Errorf("metrics: job %d not terminal (%v)", j.ID, j.State())
 		}
 		b := j.Breakdown()
 		r.TotalCPU += b.CPU
@@ -206,8 +257,10 @@ func BuildResult(traceName, policy string, jobs []*job.Job, col *Collector) (*Re
 			r.Makespan = done
 		}
 	}
-	r.MeanSlowdown = slow.Mean()
-	r.MaxSlowdown = slow.Max()
+	if slow.N() > 0 {
+		r.MeanSlowdown = slow.Mean()
+		r.MaxSlowdown = slow.Max()
+	}
 	if col != nil {
 		idle, err := col.AvgIdleMB(col.Interval())
 		if err != nil {
@@ -228,6 +281,20 @@ func BuildResult(traceName, policy string, jobs []*job.Job, col *Collector) (*Re
 		r.FailedLandings = col.FailedLandings
 		r.PendingPeak = col.PendingPeak
 		r.Suspensions = col.Suspensions
+		r.NodeCrashes = col.NodeCrashes
+		r.NodeRecoveries = col.NodeRecoveries
+		r.JobsRequeued = col.JobsRequeued
+		r.RefreshDrops = col.RefreshDrops
+		r.MigrationAborts = col.MigrationAborts
+		r.MigrationRetries = col.MigrationRetries
+		r.MigrationGiveUps = col.MigrationGiveUps
+		r.LeaseExpiries = col.LeaseExpiries
+		r.LeaseReselections = col.LeaseReselections
+		r.DegradedLocal = col.DegradedLocal
+		r.DegradedAdmits = col.DegradedAdmits
+		if r.Killed != col.JobsKilled {
+			return nil, fmt.Errorf("metrics: %d killed jobs but %d kill events counted", r.Killed, col.JobsKilled)
+		}
 	}
 	return r, nil
 }
@@ -242,6 +309,11 @@ func WriteJobsCSV(w io.Writer, jobs []*job.Job) error {
 		return err
 	}
 	for _, j := range jobs {
+		if j.State() == job.StateKilled {
+			// Killed jobs have no completion; per-job rows cover
+			// completed work only.
+			continue
+		}
 		if j.State() != job.StateDone {
 			return fmt.Errorf("metrics: job %d not done (%v)", j.ID, j.State())
 		}

@@ -12,6 +12,7 @@ package netlink
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"vrcluster/internal/sim"
@@ -59,12 +60,13 @@ func (l *Link) Active() int { return len(l.active) }
 // Start begins transferring dataMB megabytes. When the payload has fully
 // crossed the link, done is invoked with the elapsed wire time. Zero-size
 // payloads complete immediately (on the next event, at the current time).
-func (l *Link) Start(dataMB float64, done func(elapsed time.Duration)) error {
+// The returned transfer ID can abort the transfer mid-flight via Cancel.
+func (l *Link) Start(dataMB float64, done func(elapsed time.Duration)) (int, error) {
 	if done == nil {
-		return errors.New("netlink: nil completion callback")
+		return 0, errors.New("netlink: nil completion callback")
 	}
 	if dataMB < 0 {
-		return fmt.Errorf("netlink: negative payload %v MB", dataMB)
+		return 0, fmt.Errorf("netlink: negative payload %v MB", dataMB)
 	}
 	l.settle()
 	l.seq++
@@ -76,7 +78,25 @@ func (l *Link) Start(dataMB float64, done func(elapsed time.Duration)) error {
 	}
 	l.active[t.id] = t
 	l.reschedule()
-	return nil
+	return t.id, nil
+}
+
+// Cancel aborts an in-flight transfer: its progress so far is settled, the
+// payload leaves the wire without the completion callback firing, and the
+// freed bandwidth is immediately re-shared among the survivors (whose
+// completions are rescheduled under the new fair share). It returns the
+// wire time the aborted transfer consumed and whether the ID was still in
+// flight — a transfer that already completed (or was already cancelled)
+// reports false, so racing a cancellation against a completion is safe.
+func (l *Link) Cancel(id int) (time.Duration, bool) {
+	t, ok := l.active[id]
+	if !ok {
+		return 0, false
+	}
+	l.settle()
+	delete(l.active, id)
+	l.reschedule()
+	return l.engine.Now() - t.started, true
 }
 
 // settle advances every active transfer's progress to the current time
@@ -109,7 +129,8 @@ func (l *Link) reschedule() {
 		return
 	}
 	var soonest *transfer
-	for _, t := range l.active {
+	for _, id := range l.sortedIDs() {
+		t := l.active[id]
 		if soonest == nil || t.bitsLeft < soonest.bitsLeft {
 			soonest = t
 		}
@@ -129,11 +150,25 @@ func (l *Link) completeDue() {
 	l.hasEvent = false
 	l.settle()
 	now := l.engine.Now()
-	for id, t := range l.active {
+	// Simultaneous finishers must complete in a fixed order (transfer
+	// start order): their callbacks re-enter the scheduler, and map
+	// iteration here would make runs with identical seeds diverge.
+	for _, id := range l.sortedIDs() {
+		t := l.active[id]
 		if t.bitsLeft <= 1e-6 {
 			delete(l.active, id)
 			t.done(now - t.started)
 		}
 	}
 	l.reschedule()
+}
+
+// sortedIDs returns the active transfer IDs in start order.
+func (l *Link) sortedIDs() []int {
+	ids := make([]int, 0, len(l.active))
+	for id := range l.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }

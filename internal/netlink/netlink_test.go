@@ -21,10 +21,10 @@ func TestNewValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Start(1, nil); err == nil {
+	if _, err := l.Start(1, nil); err == nil {
 		t.Error("nil callback should fail")
 	}
-	if err := l.Start(-1, func(time.Duration) {}); err == nil {
+	if _, err := l.Start(-1, func(time.Duration) {}); err == nil {
 		t.Error("negative payload should fail")
 	}
 }
@@ -37,7 +37,7 @@ func TestSingleTransferMatchesDedicated(t *testing.T) {
 	}
 	var elapsed time.Duration
 	// 10 MB over 10 Mbps = 8 s on a dedicated link.
-	if err := l.Start(10, func(d time.Duration) { elapsed = d }); err != nil {
+	if _, err := l.Start(10, func(d time.Duration) { elapsed = d }); err != nil {
 		t.Fatal(err)
 	}
 	e.Run()
@@ -56,10 +56,10 @@ func TestTwoConcurrentTransfersShare(t *testing.T) {
 		t.Fatal(err)
 	}
 	var a, b time.Duration
-	if err := l.Start(10, func(d time.Duration) { a = d }); err != nil {
+	if _, err := l.Start(10, func(d time.Duration) { a = d }); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Start(10, func(d time.Duration) { b = d }); err != nil {
+	if _, err := l.Start(10, func(d time.Duration) { b = d }); err != nil {
 		t.Fatal(err)
 	}
 	e.Run()
@@ -76,12 +76,12 @@ func TestStaggeredTransfers(t *testing.T) {
 		t.Fatal(err)
 	}
 	var first, second time.Duration
-	if err := l.Start(10, func(d time.Duration) { first = d }); err != nil {
+	if _, err := l.Start(10, func(d time.Duration) { first = d }); err != nil {
 		t.Fatal(err)
 	}
 	// Second transfer starts 4 s in, when the first is half done.
 	e.After(4*time.Second, func() {
-		if err := l.Start(10, func(d time.Duration) { second = d }); err != nil {
+		if _, err := l.Start(10, func(d time.Duration) { second = d }); err != nil {
 			t.Error(err)
 		}
 	})
@@ -104,7 +104,7 @@ func TestZeroPayloadCompletesImmediately(t *testing.T) {
 		t.Fatal(err)
 	}
 	var elapsed = time.Hour
-	if err := l.Start(0, func(d time.Duration) { elapsed = d }); err != nil {
+	if _, err := l.Start(0, func(d time.Duration) { elapsed = d }); err != nil {
 		t.Fatal(err)
 	}
 	e.Run()
@@ -135,7 +135,7 @@ func TestWorkConservationProperty(t *testing.T) {
 			mb := float64(s%50) + 1
 			total += mb
 			i := i
-			if err := l.Start(mb, func(d time.Duration) { finishes[i] = d }); err != nil {
+			if _, err := l.Start(mb, func(d time.Duration) { finishes[i] = d }); err != nil {
 				return false
 			}
 		}
@@ -166,10 +166,10 @@ func TestOrderingProperty(t *testing.T) {
 			return false
 		}
 		var ds, db time.Duration
-		if err := l.Start(small, func(d time.Duration) { ds = d }); err != nil {
+		if _, err := l.Start(small, func(d time.Duration) { ds = d }); err != nil {
 			return false
 		}
-		if err := l.Start(big, func(d time.Duration) { db = d }); err != nil {
+		if _, err := l.Start(big, func(d time.Duration) { db = d }); err != nil {
 			return false
 		}
 		e.Run()
@@ -177,5 +177,87 @@ func TestOrderingProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestCancelMidFlightResettlesSurvivor(t *testing.T) {
+	e := sim.NewEngine(1)
+	l, err := New(e, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var survivor time.Duration
+	doomedFired := false
+	id, err := l.Start(10, func(time.Duration) { doomedFired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Start(10, func(d time.Duration) { survivor = d }); err != nil {
+		t.Fatal(err)
+	}
+	// Abort the first transfer 8 s in. Until then the two share the wire
+	// (5 Mbps each → 5 MB moved); afterwards the survivor enjoys the full
+	// 10 Mbps for its remaining 5 MB (4 s). Total: 12 s.
+	e.After(8*time.Second, func() {
+		elapsed, ok := l.Cancel(id)
+		if !ok {
+			t.Error("cancel mid-flight reported not in flight")
+		}
+		if math.Abs(elapsed.Seconds()-8) > 1e-6 {
+			t.Errorf("aborted wire time = %v, want 8s", elapsed)
+		}
+	})
+	e.Run()
+	if doomedFired {
+		t.Error("cancelled transfer's completion callback fired")
+	}
+	if math.Abs(survivor.Seconds()-12) > 1e-3 {
+		t.Errorf("survivor elapsed = %v, want 12s", survivor)
+	}
+	if l.Active() != 0 {
+		t.Errorf("active = %d after run", l.Active())
+	}
+}
+
+func TestCancelCompletedOrUnknownIsFalse(t *testing.T) {
+	e := sim.NewEngine(1)
+	l, err := New(e, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := l.Start(10, func(time.Duration) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if _, ok := l.Cancel(id); ok {
+		t.Error("cancel after completion should report false")
+	}
+	if _, ok := l.Cancel(9999); ok {
+		t.Error("cancel of unknown id should report false")
+	}
+}
+
+func TestCancelLastTransferClearsPendingEvent(t *testing.T) {
+	e := sim.NewEngine(1)
+	l, err := New(e, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := l.Start(10, func(time.Duration) { t.Error("completion after cancel") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.After(time.Second, func() {
+		if _, ok := l.Cancel(id); !ok {
+			t.Error("cancel reported not in flight")
+		}
+	})
+	e.Run()
+	if l.Active() != 0 {
+		t.Errorf("active = %d after cancel", l.Active())
+	}
+	if e.Len() != 0 {
+		t.Errorf("engine still holds %d events after cancelling the only transfer", e.Len())
 	}
 }

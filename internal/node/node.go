@@ -7,6 +7,7 @@ package node
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"vrcluster/internal/job"
@@ -97,6 +98,7 @@ type Node struct {
 	jobs []*job.Job
 
 	reserved     bool
+	down         bool         // crashed and not yet repaired
 	reservedJobs map[int]bool // jobs admitted under reservation (special service)
 
 	// covered records, per resident job, the virtual time up to which
@@ -155,13 +157,19 @@ func (n *Node) Jobs() []*job.Job {
 }
 
 // HasSlot reports whether a job slot is free (CPU threshold not reached),
-// counting slots held for in-flight migrations.
-func (n *Node) HasSlot() bool { return len(n.jobs)+len(n.incoming) < n.cfg.CPUThreshold }
+// counting slots held for in-flight migrations. A crashed workstation has
+// no slots until repaired.
+func (n *Node) HasSlot() bool {
+	return !n.down && len(n.jobs)+len(n.incoming) < n.cfg.CPUThreshold
+}
 
 // ExpectMigration holds a job slot and demandMB of memory for a migration
 // in flight toward this node, so capacity cannot be given away before the
 // memory image lands.
 func (n *Node) ExpectMigration(jobID int, demandMB float64) error {
+	if n.down {
+		return fmt.Errorf("node %d: down, cannot hold for job %d", n.cfg.ID, jobID)
+	}
 	if !n.HasSlot() {
 		return fmt.Errorf("node %d: no job slot to hold for job %d", n.cfg.ID, jobID)
 	}
@@ -198,8 +206,82 @@ func (n *Node) Pressured() bool { return n.mem.Pressured() }
 // reservation (no normal submissions or migrations allowed in).
 func (n *Node) Reserved() bool { return n.reserved }
 
-// SetReserved flips the reservation flag.
-func (n *Node) SetReserved(v bool) { n.reserved = v }
+// SetReserved flips the reservation flag. Dropping a reservation also
+// cancels any expected-migration holds placed while it was in force:
+// special-service transfers still in flight toward a released lease must
+// not strand phantom memory demand on a workstation the scheduler again
+// sees as regular. Their landings fall back to the holdless path and are
+// re-routed by the stranded-migration retry loop if the node has since
+// filled up.
+func (n *Node) SetReserved(v bool) {
+	if n.reserved && !v {
+		ids := make([]int, 0, len(n.incoming))
+		for id := range n.incoming {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			delete(n.incoming, id)
+			_ = n.mem.Remove(id)
+		}
+	}
+	n.reserved = v
+}
+
+// Down reports whether the workstation has crashed and not yet recovered.
+func (n *Node) Down() bool { return n.down }
+
+// Crash fails the workstation at virtual time now: every resident job is
+// settled (uncovered residency charged as queuing delay, as in Detach) and
+// removed, expected-migration holds are dropped, and any reservation is
+// cleared. The displaced jobs are returned still in the running state; the
+// caller decides their fate (kill or requeue) per the fault plan. The node
+// accepts no work until Recover.
+func (n *Node) Crash(now time.Duration) ([]*job.Job, error) {
+	if n.down {
+		return nil, fmt.Errorf("node %d: crash while already down", n.cfg.ID)
+	}
+	lost := make([]*job.Job, len(n.jobs))
+	copy(lost, n.jobs)
+	for _, j := range lost {
+		if from, ok := n.covered[j.ID]; ok && now > from {
+			if _, err := j.Account(0, 0, now-from, now); err != nil {
+				return nil, err
+			}
+		}
+		if err := n.mem.Remove(j.ID); err != nil {
+			return nil, err
+		}
+	}
+	ids := make([]int, 0, len(n.incoming))
+	for id := range n.incoming {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		delete(n.incoming, id)
+		if err := n.mem.Remove(id); err != nil {
+			return nil, err
+		}
+	}
+	n.jobs = nil
+	n.reserved = false
+	n.down = true
+	n.reservedJobs = make(map[int]bool)
+	n.covered = make(map[int]time.Duration)
+	n.mem.SetRemoteBacking(0)
+	return lost, nil
+}
+
+// Recover repairs a crashed workstation: it rejoins the cluster empty and
+// unreserved, ready to accept submissions and migrations again.
+func (n *Node) Recover() error {
+	if !n.down {
+		return fmt.Errorf("node %d: recover while up", n.cfg.ID)
+	}
+	n.down = false
+	return nil
+}
 
 // ReservedJobCount reports how many resident jobs were admitted as special
 // service under the reservation.
@@ -252,6 +334,9 @@ func (n *Node) CPUDelivered() time.Duration { return n.cpuDelivered }
 
 // Admit starts a newly submitted job on this node at time now.
 func (n *Node) Admit(j *job.Job, now time.Duration) error {
+	if n.down {
+		return fmt.Errorf("node %d: down, cannot admit job %d", n.cfg.ID, j.ID)
+	}
 	if !n.HasSlot() {
 		return fmt.Errorf("node %d: no job slot for job %d", n.cfg.ID, j.ID)
 	}
@@ -270,6 +355,9 @@ func (n *Node) Admit(j *job.Job, now time.Duration) error {
 // the given migration cost, optionally as reservation special service. A
 // hold previously placed with ExpectMigration is consumed if present.
 func (n *Node) AttachMigrated(j *job.Job, cost time.Duration, special bool, now time.Duration) error {
+	if n.down {
+		return fmt.Errorf("node %d: down, cannot land job %d", n.cfg.ID, j.ID)
+	}
 	_, held := n.incoming[j.ID]
 	if !held && !n.HasSlot() {
 		return fmt.Errorf("node %d: no job slot for migrated job %d", n.cfg.ID, j.ID)

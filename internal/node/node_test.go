@@ -539,3 +539,130 @@ func TestAttachConsumesHold(t *testing.T) {
 		t.Errorf("jobs=%d demand=%v", dst.NumJobs(), dst.Memory().DemandMB())
 	}
 }
+
+// Regression: dropping a reservation must cancel expected-migration holds
+// placed while it was in force, or a released lease keeps phantom memory
+// demand and a consumed job slot forever.
+func TestUnreserveCancelsIncomingHolds(t *testing.T) {
+	n := newNode(t, 100, 2)
+	n.SetReserved(true)
+	if err := n.ExpectMigration(1, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ExpectMigration(2, 30); err != nil {
+		t.Fatal(err)
+	}
+	if n.ExpectedCount() != 2 {
+		t.Fatalf("expected count = %d, want 2", n.ExpectedCount())
+	}
+	n.SetReserved(false)
+	if n.ExpectedCount() != 0 {
+		t.Errorf("expected count = %d after unreserve, want 0", n.ExpectedCount())
+	}
+	if n.IdleMB() != 100 {
+		t.Errorf("idle = %v MB after unreserve, want all 100 back", n.IdleMB())
+	}
+	if !n.HasSlot() {
+		t.Error("slots still consumed after unreserve")
+	}
+	// The in-flight job's landing then takes the holdless path.
+	j := newJob(t, 1, 10*time.Second, 40)
+	if err := j.Start(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.BeginMigration(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachMigrated(j, time.Second, true, 2*time.Second); err != nil {
+		t.Errorf("holdless landing failed: %v", err)
+	}
+}
+
+// Reserving again after the cancel must not resurrect old holds.
+func TestUnreserveOnlyCancelsWhenPreviouslyReserved(t *testing.T) {
+	n := newNode(t, 100, 4)
+	if err := n.ExpectMigration(7, 20); err != nil {
+		t.Fatal(err)
+	}
+	n.SetReserved(false) // was never reserved: holds must survive
+	if n.ExpectedCount() != 1 {
+		t.Errorf("expected count = %d, want hold preserved", n.ExpectedCount())
+	}
+}
+
+func TestCrashDisplacesJobsAndBlocksWork(t *testing.T) {
+	n := newNode(t, 100, 4)
+	a := newJob(t, 1, 10*time.Second, 30)
+	b := newJob(t, 2, 10*time.Second, 20)
+	if err := n.Admit(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Admit(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ExpectMigration(3, 10); err != nil {
+		t.Fatal(err)
+	}
+	n.SetReserved(true)
+
+	lost, err := n.Crash(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lost) != 2 || lost[0].ID != 1 || lost[1].ID != 2 {
+		t.Fatalf("lost = %v, want jobs 1 and 2", lost)
+	}
+	for _, j := range lost {
+		if j.State() != job.StateRunning {
+			t.Errorf("job %d state = %v, caller decides its fate", j.ID, j.State())
+		}
+	}
+	if !n.Down() || n.Reserved() || n.NumJobs() != 0 || n.ExpectedCount() != 0 {
+		t.Errorf("post-crash state: down=%v reserved=%v jobs=%d expected=%d",
+			n.Down(), n.Reserved(), n.NumJobs(), n.ExpectedCount())
+	}
+	if n.HasSlot() {
+		t.Error("down node must offer no slots")
+	}
+	if err := n.Admit(newJob(t, 4, time.Second, 1), 6*time.Second); err == nil {
+		t.Error("down node accepted a submission")
+	}
+	if err := n.ExpectMigration(5, 1); err == nil {
+		t.Error("down node accepted a migration hold")
+	}
+	if _, err := n.Crash(6 * time.Second); err == nil {
+		t.Error("double crash should fail")
+	}
+
+	if err := n.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Down() || !n.HasSlot() {
+		t.Error("recovered node should be up with free slots")
+	}
+	if n.IdleMB() != 100 {
+		t.Errorf("idle = %v MB after recovery, want 100", n.IdleMB())
+	}
+	if err := n.Recover(); err == nil {
+		t.Error("recover while up should fail")
+	}
+	if err := n.Admit(newJob(t, 6, time.Second, 10), 7*time.Second); err != nil {
+		t.Errorf("recovered node rejected work: %v", err)
+	}
+}
+
+// Crash settles uncovered residency as queuing so the Section 5 identity
+// holds for killed and requeued jobs.
+func TestCrashSettlesResidencyAsQueue(t *testing.T) {
+	n := newNode(t, 100, 4)
+	j := newJob(t, 1, 10*time.Second, 10)
+	if err := n.Admit(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Crash(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Breakdown().Queue; got != 3*time.Second {
+		t.Errorf("queue charge = %v, want 3s of uncovered residency", got)
+	}
+}

@@ -2,7 +2,10 @@
 # Full verification: vet, build, and the complete test suite under the
 # race detector. The race run also exercises the runner worker pool's
 # parallel-vs-sequential determinism tests (internal/experiments) and the
-# runner stress test (internal/runner).
+# runner stress test (internal/runner). The fault-injection and lease
+# packages get a second -count=2 pass (catches cross-run state leakage in
+# the seeded fault streams), and a vrsim run with every fault dimension
+# enabled smoke-tests self-healing end to end.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -12,4 +15,10 @@ echo "== go build ./..."
 go build ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== go test -race -count=2 ./internal/faults/... ./internal/core/..."
+go test -race -count=2 ./internal/faults/... ./internal/core/...
+echo "== fault-sweep smoke run (cmd/vrsim)"
+go run ./cmd/vrsim -group 2 -level 1 -policy vr -faults \
+    -mtbf 20m -crash requeue -droprate 0.1 -abortrate 0.2 -lease 30s \
+    >/dev/null
 echo "verify: OK"
