@@ -192,12 +192,45 @@ func BenchmarkExperimentGridParallel(b *testing.B) { benchGrid(b, runner.Default
 
 // Micro-benchmarks of the simulator substrate.
 
-// BenchmarkEngineScheduleRun measures raw event throughput.
+// BenchmarkEngineScheduleRun measures raw event throughput: each of the
+// b.N operations is one scheduled-and-executed event. Scheduling and
+// draining are interleaved in batches so b.N covers both halves and the
+// arena reaches its zero-allocation steady state (heap and slot arrays
+// stop growing, the free list recycles every slot).
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	e := sim.NewEngine(1)
+	fn := func() {}
+	const batch = 1024
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.After(time.Duration(i)*time.Microsecond, func() {})
+		e.After(time.Duration(i%batch)*time.Microsecond, fn)
+		if i%batch == batch-1 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkEngineScheduleCancel mixes scheduling with O(1) cancellation:
+// each operation schedules one event and cancels the one scheduled half a
+// ring ago, so roughly half the cancels hit pending events (exercising
+// immediate slot release) and half miss already-fired ones. Guards the
+// arena against free-list or generation-stamp regressions.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := sim.NewEngine(1)
+	fn := func() {}
+	const ring = 256
+	var handles [ring]sim.Handle
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % ring
+		e.Cancel(handles[(slot+ring/2)%ring])
+		handles[slot] = e.After(time.Duration(slot)*time.Microsecond, fn)
+		if slot == ring-1 {
+			e.Run() // drain live events and lazily drop cancelled entries
+		}
 	}
 	e.Run()
 }

@@ -1,0 +1,178 @@
+// Command benchjson converts `go test -bench` output into a
+// benchstat-comparable JSON snapshot. It parses standard benchmark result
+// lines ("BenchmarkName<tab>iters<tab>value unit ..."), groups repeated
+// -count runs per benchmark, and, when an -old file with a previous
+// snapshot's raw text is given, emits a per-benchmark comparison of mean
+// ns/op with the speedup factor. The raw lines are preserved verbatim in
+// the JSON so benchstat can be run on extracted old/new sections at any
+// later point in the trajectory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// run is one benchmark execution line: the iteration count plus every
+// "value unit" metric pair that followed it.
+type run struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// bench collects the -count repetitions of one benchmark.
+type bench struct {
+	Name string `json:"name"`
+	Runs []run  `json:"runs"`
+}
+
+// comparison reports old-vs-new mean ns/op for one benchmark present in
+// both snapshots.
+type comparison struct {
+	Name      string  `json:"name"`
+	OldNsOp   float64 `json:"old_ns_op"`
+	NewNsOp   float64 `json:"new_ns_op"`
+	Speedup   float64 `json:"speedup"`
+	OldAllocs float64 `json:"old_allocs_op,omitempty"`
+	NewAllocs float64 `json:"new_allocs_op,omitempty"`
+}
+
+type snapshot struct {
+	Label       string       `json:"label,omitempty"`
+	Env         []string     `json:"env,omitempty"` // goos/goarch/pkg/cpu header lines
+	Benchmarks  []bench      `json:"benchmarks"`
+	Raw         []string     `json:"raw"`
+	OldLabel    string       `json:"old_label,omitempty"`
+	OldRaw      []string     `json:"old_raw,omitempty"`
+	Comparisons []comparison `json:"comparisons,omitempty"`
+}
+
+// parse reads go-test bench output, returning header lines, parsed
+// benchmarks in first-seen order, and the raw result lines.
+func parse(r io.Reader) (env []string, benches []bench, raw []string, err error) {
+	byName := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			env = append(env, line)
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, perr := strconv.ParseInt(fields[1], 10, 64)
+		if perr != nil {
+			continue
+		}
+		rn := run{Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, perr := strconv.ParseFloat(fields[i], 64)
+			if perr != nil {
+				break
+			}
+			rn.Metrics[fields[i+1]] = v
+		}
+		raw = append(raw, line)
+		name := fields[0]
+		idx, ok := byName[name]
+		if !ok {
+			idx = len(benches)
+			byName[name] = idx
+			benches = append(benches, bench{Name: name})
+		}
+		benches[idx].Runs = append(benches[idx].Runs, rn)
+	}
+	return env, benches, raw, sc.Err()
+}
+
+// meanMetric averages one metric over a benchmark's runs; ok is false when
+// no run reported it.
+func meanMetric(b bench, unit string) (float64, bool) {
+	sum, n := 0.0, 0
+	for _, r := range b.Runs {
+		if v, found := r.Metrics[unit]; found {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+func main() {
+	oldPath := flag.String("old", "", "previous snapshot's raw bench text to compare against")
+	label := flag.String("label", "", "label for this snapshot (e.g. git revision)")
+	oldLabel := flag.String("old-label", "", "label for the -old snapshot")
+	flag.Parse()
+
+	env, benches, raw, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	snap := snapshot{Label: *label, Env: env, Benchmarks: benches, Raw: raw, OldLabel: *oldLabel}
+
+	if *oldPath != "" {
+		f, err := os.Open(*oldPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		_, oldBenches, oldRaw, err := parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		snap.OldRaw = oldRaw
+		oldBy := map[string]bench{}
+		for _, b := range oldBenches {
+			oldBy[b.Name] = b
+		}
+		for _, nb := range benches {
+			ob, ok := oldBy[nb.Name]
+			if !ok {
+				continue
+			}
+			oldNs, ok1 := meanMetric(ob, "ns/op")
+			newNs, ok2 := meanMetric(nb, "ns/op")
+			if !ok1 || !ok2 || newNs == 0 {
+				continue
+			}
+			c := comparison{Name: nb.Name, OldNsOp: oldNs, NewNsOp: newNs, Speedup: oldNs / newNs}
+			if v, ok := meanMetric(ob, "allocs/op"); ok {
+				c.OldAllocs = v
+			}
+			if v, ok := meanMetric(nb, "allocs/op"); ok {
+				c.NewAllocs = v
+			}
+			snap.Comparisons = append(snap.Comparisons, c)
+		}
+		sort.Slice(snap.Comparisons, func(i, j int) bool {
+			return snap.Comparisons[i].Speedup > snap.Comparisons[j].Speedup
+		})
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -12,6 +12,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"time"
 
 	"vrcluster/internal/faults"
@@ -76,6 +77,14 @@ type Config struct {
 	// crashes, dropped load exchanges, aborted migration transfers). The
 	// zero plan disables injection entirely.
 	Faults faults.Plan
+
+	// DenseTicks forces a quantum tick on every quantum boundary even
+	// while the whole cluster is quiescent, disabling idle-tick elision.
+	// Elision is result-preserving by construction (elided ticks are
+	// provable no-ops); this knob exists to validate exactly that — the
+	// dense-vs-elided equivalence tests run the same trace both ways and
+	// require identical results.
+	DenseTicks bool
 
 	Seed int64
 }
@@ -171,6 +180,13 @@ type Cluster struct {
 	recorder    *record.Recorder
 	ranJobs     []*job.Job
 
+	// active is a bitmask of workstations with resident jobs, maintained
+	// through the nodes' residency watchers; quantumTick visits only set
+	// bits, and an all-zero mask lets the quantum clock fast-forward
+	// across idle stretches.
+	active        []uint64
+	quantumHandle sim.Handle
+
 	injector *faults.Injector // non-nil while a fault plan is active
 	homes    map[int]int      // job ID -> home workstation (crash requeues)
 }
@@ -216,7 +232,31 @@ func New(cfg Config, sched Scheduler) (*Cluster, error) {
 		}
 		c.link = link
 	}
+	c.active = make([]uint64, (len(nodes)+63)/64)
+	for i, n := range nodes {
+		id := i
+		n.SetResidencyWatcher(func(resident int) { c.setActive(id, resident > 0) })
+	}
 	return c, nil
+}
+
+// setActive flips node id's bit in the active-workstation mask.
+func (c *Cluster) setActive(id int, on bool) {
+	if on {
+		c.active[id>>6] |= 1 << uint(id&63)
+	} else {
+		c.active[id>>6] &^= 1 << uint(id&63)
+	}
+}
+
+// anyActive reports whether any workstation holds a resident job.
+func (c *Cluster) anyActive() bool {
+	for _, w := range c.active {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Engine exposes the discrete-event engine (for policies that schedule
@@ -327,15 +367,43 @@ func (c *Cluster) Run(tr *trace.Trace) (*metrics.Result, error) {
 		inj.Start()
 	}
 
-	quantumTicker, err := sim.NewTicker(c.engine, c.cfg.Quantum, func() {
-		if err := c.quantumTick(); err != nil {
-			fail(err)
-		}
-	})
-	if err != nil {
-		return nil, err
+	// The quantum clock is self-arming rather than a fixed sim.Ticker:
+	// while any workstation holds a job it re-arms one quantum ahead
+	// (before the tick body, exactly as a Ticker would, so events the
+	// body schedules keep their order relative to the next tick), and
+	// while the whole cluster is quiescent it fast-forwards to the
+	// quantum boundary covering the next pending event — submission,
+	// control period, fault, landing, or timeout — making the hot loop
+	// activity-proportional. Elided ticks are provable no-ops: with no
+	// resident jobs node.Tick does nothing and the tick body schedules
+	// nothing, and the boundary arithmetic keeps every executed tick on
+	// the same instants, with the same relative event order, as the
+	// dense schedule (see the dense-vs-elided equivalence tests).
+	for i, n := range c.nodes {
+		c.setActive(i, n.NumJobs() > 0)
 	}
-	defer quantumTicker.Stop()
+	var quantumFn func()
+	quantumFn = func() {
+		if c.cfg.DenseTicks || c.anyActive() {
+			c.quantumHandle = c.engine.After(c.cfg.Quantum, quantumFn)
+			if err := c.quantumTick(); err != nil {
+				fail(err)
+			}
+			return
+		}
+		q := c.cfg.Quantum
+		now := c.engine.Now()
+		target := now + q
+		if next, ok := c.engine.NextEventAt(); ok && next > now {
+			if r := next % q; r != 0 {
+				next += q - r
+			}
+			target = next
+		}
+		c.quantumHandle, _ = c.engine.Schedule(target, quantumFn) // target >= now; cannot fail
+	}
+	c.quantumHandle = c.engine.After(c.cfg.Quantum, quantumFn)
+	defer func() { c.engine.Cancel(c.quantumHandle) }()
 
 	controlTicker, err := sim.NewTicker(c.engine, c.cfg.ControlPeriod, func() {
 		if err := c.controlTick(); err != nil {
@@ -613,21 +681,46 @@ func (c *Cluster) recoverNode(id int) error {
 	return nil
 }
 
-// quantumTick advances every workstation by one scheduling quantum.
+// quantumTick advances every active workstation by one scheduling quantum,
+// in ascending node-ID order. Workstations without resident jobs are
+// skipped — for them node.Tick is a no-op — except under DenseTicks, which
+// visits all nodes exactly as the pre-elision loop did.
 func (c *Cluster) quantumTick() error {
 	now := c.engine.Now()
-	for _, n := range c.nodes {
-		done, err := n.Tick(c.cfg.Quantum, now)
-		if err != nil {
-			return err
+	if c.cfg.DenseTicks {
+		for _, n := range c.nodes {
+			if err := c.tickNode(n, now); err != nil {
+				return err
+			}
 		}
-		for _, j := range done {
-			c.outstanding--
-			c.sched.OnJobDone(c, n, j)
+	} else {
+		// Iterate a snapshot of each word: completions clear bits and
+		// policy callbacks may set them mid-pass, and a node activated
+		// at this instant needs no tick (its accounting starts now).
+		for wi, w := range c.active {
+			for w != 0 {
+				id := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				if err := c.tickNode(c.nodes[id], now); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	if c.outstanding == 0 {
 		c.engine.Stop()
+	}
+	return nil
+}
+
+func (c *Cluster) tickNode(n *node.Node, now time.Duration) error {
+	done, err := n.Tick(c.cfg.Quantum, now)
+	if err != nil {
+		return err
+	}
+	for _, j := range done {
+		c.outstanding--
+		c.sched.OnJobDone(c, n, j)
 	}
 	return nil
 }

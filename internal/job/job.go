@@ -203,6 +203,46 @@ func (j *Job) MemoryDemandMB() float64 {
 	return j.MemoryDemandAtMB(j.Progress())
 }
 
+// DemandHorizon reports the job's current memory demand together with a
+// CPU-service horizon: as long as the job's accumulated CPU service stays
+// at or below the horizon, its demand is guaranteed to equal the returned
+// value, because the job is inside a flat memory phase. A zero horizon
+// means the demand may move with any further progress and must be
+// re-evaluated. Nodes use this to skip the per-quantum demand refresh for
+// the (dominant) flat stretches of a job's memory profile.
+func (j *Job) DemandHorizon() (demandMB float64, horizon time.Duration) {
+	frac := j.Progress()
+	demandMB = j.MemoryDemandAtMB(frac)
+	if frac <= 0 || j.CPUDemand <= 0 {
+		return demandMB, 0
+	}
+	for _, p := range j.Phases {
+		if frac > p.EndFrac {
+			continue
+		}
+		if p.StartMB != p.EndMB {
+			return demandMB, 0
+		}
+		if p.EndFrac >= 1 {
+			// Final flat phase: demand is fixed for the rest of the
+			// job's life (Progress clamps at 1).
+			return demandMB, j.CPUDemand
+		}
+		// Largest service h with float64(h)/float64(CPUDemand) still
+		// inside this phase; the fix-up loops absorb rounding of the
+		// initial float estimate so the bound is exact.
+		h := time.Duration(p.EndFrac * float64(j.CPUDemand))
+		for h > 0 && float64(h)/float64(j.CPUDemand) > p.EndFrac {
+			h--
+		}
+		for h < j.CPUDemand && float64(h+1)/float64(j.CPUDemand) <= p.EndFrac {
+			h++
+		}
+		return demandMB, h
+	}
+	return demandMB, 0
+}
+
 // MemoryDemandAtMB reports the demand at an arbitrary progress fraction.
 func (j *Job) MemoryDemandAtMB(frac float64) float64 {
 	if len(j.Phases) == 0 {

@@ -101,10 +101,28 @@ type Node struct {
 	down         bool         // crashed and not yet repaired
 	reservedJobs map[int]bool // jobs admitted under reservation (special service)
 
-	// covered records, per resident job, the virtual time up to which
-	// its execution has been accounted, so jobs admitted mid-quantum are
-	// only credited for their actual residency.
-	covered map[int]time.Duration
+	// covered[i] records the virtual time up to which jobs[i]'s execution
+	// has been accounted, so jobs admitted mid-quantum are only credited
+	// for their actual residency. demand[i] caches jobs[i]'s memory
+	// demand as registered with the manager, so the per-tick refresh only
+	// touches the manager when a job's demand actually moves. Both slices
+	// track jobs index-for-index through admission and removal.
+	covered []time.Duration
+	demand  []float64
+
+	// flatUntil[i] is the CPU-service horizon from jobs[i].DemandHorizon:
+	// while the job's accumulated service stays at or below it, the demand
+	// refresh is skipped (the job is in a flat memory phase).
+	flatUntil []time.Duration
+
+	// ioActive counts resident jobs with a nonzero I/O rate (rates are
+	// fixed before admission), keeping the per-tick cache-availability
+	// check O(1).
+	ioActive int
+
+	// watcher, when set, observes every resident-job-count change; the
+	// cluster uses it to maintain its active-workstation set.
+	watcher func(resident int)
 
 	// incoming holds capacity (a job slot and memory demand) for
 	// migrations in flight toward this node, so the destination cannot
@@ -129,9 +147,47 @@ func New(cfg Config) (*Node, error) {
 		cfg:          cfg,
 		mem:          mem,
 		reservedJobs: make(map[int]bool),
-		covered:      make(map[int]time.Duration),
 		incoming:     make(map[int]float64),
 	}, nil
+}
+
+// SetResidencyWatcher registers fn to be called with the resident job count
+// after every admission, landing, detach, crash, and completion. A nil fn
+// clears the watcher.
+func (n *Node) SetResidencyWatcher(fn func(resident int)) { n.watcher = fn }
+
+// notifyResidency reports the current resident count to the watcher.
+func (n *Node) notifyResidency() {
+	if n.watcher != nil {
+		n.watcher(len(n.jobs))
+	}
+}
+
+// appendResident adds j to the resident set with its accounting baseline at
+// now and demandMB registered with the memory manager.
+func (n *Node) appendResident(j *job.Job, now time.Duration, demandMB float64) {
+	n.jobs = append(n.jobs, j)
+	n.covered = append(n.covered, now)
+	n.demand = append(n.demand, demandMB)
+	n.flatUntil = append(n.flatUntil, 0)
+	if j.IORate() > 0 {
+		n.ioActive++
+	}
+	n.notifyResidency()
+}
+
+// removeResidentAt drops jobs[idx] from the resident set, preserving
+// round-robin order.
+func (n *Node) removeResidentAt(idx int) {
+	j := n.jobs[idx]
+	if j.IORate() > 0 {
+		n.ioActive--
+	}
+	n.jobs = append(n.jobs[:idx], n.jobs[idx+1:]...)
+	n.covered = append(n.covered[:idx], n.covered[idx+1:]...)
+	n.demand = append(n.demand[:idx], n.demand[idx+1:]...)
+	n.flatUntil = append(n.flatUntil[:idx], n.flatUntil[idx+1:]...)
+	n.notifyResidency()
 }
 
 // ID reports the workstation's identifier.
@@ -243,8 +299,8 @@ func (n *Node) Crash(now time.Duration) ([]*job.Job, error) {
 	}
 	lost := make([]*job.Job, len(n.jobs))
 	copy(lost, n.jobs)
-	for _, j := range lost {
-		if from, ok := n.covered[j.ID]; ok && now > from {
+	for i, j := range lost {
+		if from := n.covered[i]; now > from {
 			if _, err := j.Account(0, 0, now-from, now); err != nil {
 				return nil, err
 			}
@@ -265,11 +321,15 @@ func (n *Node) Crash(now time.Duration) ([]*job.Job, error) {
 		}
 	}
 	n.jobs = nil
+	n.covered = nil
+	n.demand = nil
+	n.flatUntil = nil
+	n.ioActive = 0
 	n.reserved = false
 	n.down = true
 	n.reservedJobs = make(map[int]bool)
-	n.covered = make(map[int]time.Duration)
 	n.mem.SetRemoteBacking(0)
+	n.notifyResidency()
 	return lost, nil
 }
 
@@ -302,16 +362,9 @@ func (n *Node) Faults() float64 { return n.faults }
 func (n *Node) IOStall() time.Duration { return n.ioStall }
 
 // IOActiveJobs reports resident jobs with nonzero I/O rates — the I/O
-// load status the load index publishes.
-func (n *Node) IOActiveJobs() int {
-	c := 0
-	for _, j := range n.jobs {
-		if j.IORate() > 0 {
-			c++
-		}
-	}
-	return c
-}
+// load status the load index publishes. The count is maintained
+// incrementally (job I/O rates are fixed before admission).
+func (n *Node) IOActiveJobs() int { return n.ioActive }
 
 // CacheAvailability reports how much of the buffer-cache working set the
 // node's I/O-active jobs can keep in memory, in [0, 1]. With no I/O-active
@@ -343,11 +396,11 @@ func (n *Node) Admit(j *job.Job, now time.Duration) error {
 	if err := j.Start(n.cfg.ID, now); err != nil {
 		return err
 	}
-	if err := n.mem.Register(j.ID, j.MemoryDemandMB()); err != nil {
+	d := j.MemoryDemandMB()
+	if err := n.mem.Register(j.ID, d); err != nil {
 		return err
 	}
-	n.jobs = append(n.jobs, j)
-	n.covered[j.ID] = now
+	n.appendResident(j, now, d)
 	return nil
 }
 
@@ -365,16 +418,16 @@ func (n *Node) AttachMigrated(j *job.Job, cost time.Duration, special bool, now 
 	if err := j.CompleteMigration(n.cfg.ID, cost); err != nil {
 		return err
 	}
+	d := j.MemoryDemandMB()
 	if held {
 		delete(n.incoming, j.ID)
-		if err := n.mem.Update(j.ID, j.MemoryDemandMB()); err != nil {
+		if err := n.mem.Update(j.ID, d); err != nil {
 			return err
 		}
-	} else if err := n.mem.Register(j.ID, j.MemoryDemandMB()); err != nil {
+	} else if err := n.mem.Register(j.ID, d); err != nil {
 		return err
 	}
-	n.jobs = append(n.jobs, j)
-	n.covered[j.ID] = now
+	n.appendResident(j, now, d)
 	if special {
 		n.reservedJobs[j.ID] = true
 	}
@@ -395,7 +448,7 @@ func (n *Node) Detach(j *job.Job, now time.Duration) error {
 	if idx < 0 {
 		return fmt.Errorf("node %d: job %d not resident", n.cfg.ID, j.ID)
 	}
-	if from, ok := n.covered[j.ID]; ok && now > from {
+	if from := n.covered[idx]; now > from {
 		if _, err := j.Account(0, 0, now-from, now); err != nil {
 			return err
 		}
@@ -406,9 +459,8 @@ func (n *Node) Detach(j *job.Job, now time.Duration) error {
 	if err := n.mem.Remove(j.ID); err != nil {
 		return err
 	}
-	n.jobs = append(n.jobs[:idx], n.jobs[idx+1:]...)
+	n.removeResidentAt(idx)
 	delete(n.reservedJobs, j.ID)
-	delete(n.covered, j.ID)
 	return nil
 }
 
@@ -460,24 +512,31 @@ func (n *Node) Tick(dt time.Duration, now time.Duration) ([]*job.Job, error) {
 	// jobs' cache working sets, their reads and writes go to the disk.
 	cacheMiss := 1 - n.CacheAvailability()
 
+	// Loop invariants, hoisted. The fast paths below skip float operations
+	// only when IEEE 754 guarantees the skipped operation is an exact
+	// identity (x/1 == x, x+0 == x for x >= 0), so results stay
+	// bit-identical to the straight-line arithmetic.
+	execSecFull := exec.Seconds()
+	denomBase := 1/v + stall
+	lo := now - dt
+
 	var done []*job.Job
-	for _, j := range n.jobs {
+	for i, j := range n.jobs {
 		// Credit only the portion of the quantum the job was actually
 		// resident for (it may have been admitted mid-quantum).
 		resid := dt
-		if from, ok := n.covered[j.ID]; ok {
-			lo := now - dt
-			if from > lo {
-				resid = now - from
-			}
+		if from := n.covered[i]; from > lo {
+			resid = now - from
 		}
-		n.covered[j.ID] = now
+		n.covered[i] = now
 		if resid <= 0 {
 			continue
 		}
 		execHere := exec
+		execSec := execSecFull
 		if execHere > resid {
 			execHere = resid
+			execSec = execHere.Seconds()
 		}
 		// In execution wall time w the job splits between compute
 		// (cpu/v), paging (cpu*stall), and buffer-cache-miss disk time
@@ -486,17 +545,25 @@ func (n *Node) Tick(dt time.Duration, now time.Duration) ([]*job.Job, error) {
 		if rate := j.IORate(); rate > 0 && cacheMiss > 0 && n.cfg.DiskMBps > 0 {
 			ioStall = rate / n.cfg.DiskMBps * cacheMiss
 		}
-		execSec := execHere.Seconds()
-		cpuSec := execSec / (1/v + stall + ioStall)
+		cpuSec := execSec
+		if denom := denomBase + ioStall; denom != 1 {
+			cpuSec = execSec / denom
+		}
 		cpu := time.Duration(cpuSec * float64(time.Second))
 		if rem := j.Remaining(); cpu >= rem {
 			cpu = rem
 		}
-		computeWall := time.Duration(float64(cpu) / v)
+		computeWall := cpu
+		if v != 1 {
+			computeWall = time.Duration(float64(cpu) / v)
+		}
 		// Both paging and cache-miss disk time are memory-pressure-
 		// induced I/O waits; the Section 5 decomposition folds them into
 		// the paging component.
-		page := time.Duration(float64(cpu) * (stall + ioStall))
+		page := time.Duration(0)
+		if ps := stall + ioStall; ps != 0 {
+			page = time.Duration(float64(cpu) * ps)
+		}
 		queue := resid - computeWall - page
 		if queue < 0 {
 			queue = 0
@@ -505,8 +572,12 @@ func (n *Node) Tick(dt time.Duration, now time.Duration) ([]*job.Job, error) {
 		if err != nil {
 			return nil, err
 		}
-		n.faults += float64(cpu) / float64(time.Second) * n.mem.FaultRate()
-		n.ioStall += time.Duration(float64(cpu) * ioStall)
+		if n.mem.Pressured() { // FaultRate is nonzero exactly under pressure
+			n.faults += float64(cpu) / float64(time.Second) * n.mem.FaultRate()
+		}
+		if ioStall != 0 {
+			n.ioStall += time.Duration(float64(cpu) * ioStall)
+		}
 		n.cpuDelivered += cpu
 		if finished {
 			done = append(done, j)
@@ -514,22 +585,45 @@ func (n *Node) Tick(dt time.Duration, now time.Duration) ([]*job.Job, error) {
 				return nil, err
 			}
 			delete(n.reservedJobs, j.ID)
-			delete(n.covered, j.ID)
 			continue
 		}
-		// Demand evolves with progress; refresh the memory manager.
-		if err := n.mem.Update(j.ID, j.MemoryDemandMB()); err != nil {
-			return nil, err
+		// Demand evolves with progress; refresh the memory manager only
+		// when the job has run past the flat-phase horizon within which
+		// its demand provably cannot move.
+		if j.CPUDone() > n.flatUntil[i] {
+			d, horizon := j.DemandHorizon()
+			if d != n.demand[i] {
+				if err := n.mem.Update(j.ID, d); err != nil {
+					return nil, err
+				}
+				n.demand[i] = d
+			}
+			n.flatUntil[i] = horizon
 		}
 	}
 	if len(done) > 0 {
-		alive := n.jobs[:0]
-		for _, j := range n.jobs {
-			if j.State() != job.StateDone {
-				alive = append(alive, j)
+		k := 0
+		for i, j := range n.jobs {
+			if j.State() == job.StateDone {
+				if j.IORate() > 0 {
+					n.ioActive--
+				}
+				continue
 			}
+			n.jobs[k] = j
+			n.covered[k] = n.covered[i]
+			n.demand[k] = n.demand[i]
+			n.flatUntil[k] = n.flatUntil[i]
+			k++
 		}
-		n.jobs = alive
+		for i := k; i < len(n.jobs); i++ {
+			n.jobs[i] = nil
+		}
+		n.jobs = n.jobs[:k]
+		n.covered = n.covered[:k]
+		n.demand = n.demand[:k]
+		n.flatUntil = n.flatUntil[:k]
+		n.notifyResidency()
 	}
 	return done, nil
 }

@@ -3,10 +3,15 @@
 // deterministic FIFO tie-breaking, and a seeded random source. All simulated
 // components schedule callbacks on an Engine; nothing in the simulator reads
 // the wall clock, so a run is fully determined by its inputs and seed.
+//
+// The queue is allocation-free in steady state: events live in a slot arena
+// recycled through a free list, the heap orders value entries (no per-event
+// heap allocation), and cancellation is O(1) — the slot and its callback are
+// released immediately, with the stale heap entry skipped lazily via a
+// generation stamp when it reaches the top.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"math/rand"
 	"time"
@@ -16,49 +21,35 @@ import (
 // current virtual time.
 var ErrClockRegression = errors.New("sim: event scheduled in the past")
 
-// Handle identifies a scheduled event so it can be cancelled.
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is valid and refers to no event.
 type Handle struct {
-	seq uint64
+	slot int32  // 1-based arena slot; 0 means no event
+	gen  uint32 // arena slot generation at scheduling time
 }
 
-type event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	cancelled bool
-	index     int
+// eventSlot is one arena cell. gen increments every time the slot is
+// released (fired or cancelled), invalidating outstanding Handles and any
+// stale heap entry still pointing at it.
+type eventSlot struct {
+	fn  func()
+	gen uint32
 }
 
-type eventQueue []*event
+// heapEntry is a by-value queue element; at/seq give the deterministic
+// (time, FIFO) order, slot/gen locate the callback and detect staleness.
+type heapEntry struct {
+	at   time.Duration
+	seq  uint64
+	slot int32
+	gen  uint32
+}
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
@@ -66,9 +57,11 @@ func (q *eventQueue) Pop() any {
 // parallelism across simulations is achieved by running independent Engines.
 type Engine struct {
 	now     time.Duration
-	queue   eventQueue
+	heap    []heapEntry
+	slots   []eventSlot
+	free    []int32
 	seq     uint64
-	pending map[uint64]*event
+	live    int
 	rng     *rand.Rand
 	stopped bool
 }
@@ -76,10 +69,7 @@ type Engine struct {
 // NewEngine returns an engine with its clock at zero and a random source
 // seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{
-		pending: make(map[uint64]*event),
-		rng:     rand.New(rand.NewSource(seed)),
-	}
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now reports the current virtual time.
@@ -89,7 +79,7 @@ func (e *Engine) Now() time.Duration { return e.now }
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Len reports the number of scheduled, uncancelled events.
-func (e *Engine) Len() int { return len(e.pending) }
+func (e *Engine) Len() int { return e.live }
 
 // Schedule runs fn at absolute virtual time at. Events scheduled for the
 // same instant run in scheduling order. Scheduling in the past returns
@@ -99,10 +89,19 @@ func (e *Engine) Schedule(at time.Duration, fn func()) (Handle, error) {
 		return Handle{}, ErrClockRegression
 	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
-	e.pending[ev.seq] = ev
-	return Handle{seq: ev.seq}, nil
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, eventSlot{})
+		idx = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[idx]
+	s.fn = fn
+	e.push(heapEntry{at: at, seq: e.seq, slot: idx, gen: s.gen})
+	e.live++
+	return Handle{slot: idx + 1, gen: s.gen}, nil
 }
 
 // After runs fn after delay d from the current virtual time. Negative delays
@@ -116,28 +115,44 @@ func (e *Engine) After(d time.Duration, fn func()) Handle {
 }
 
 // Cancel removes a scheduled event. It reports whether the event was still
-// pending.
+// pending. The callback and its arena slot are released immediately — a
+// cancelled closure is never pinned until its heap entry surfaces — and the
+// entry left in the heap is dropped lazily by generation mismatch.
 func (e *Engine) Cancel(h Handle) bool {
-	ev, ok := e.pending[h.seq]
-	if !ok {
+	if h.slot <= 0 || int(h.slot) > len(e.slots) {
 		return false
 	}
-	ev.cancelled = true
-	delete(e.pending, h.seq)
+	s := &e.slots[h.slot-1]
+	if s.gen != h.gen || s.fn == nil {
+		return false
+	}
+	e.release(h.slot-1, s)
 	return true
+}
+
+// release frees slot idx: the callback is dropped, the generation bumped
+// (orphaning heap entries and handles), and the slot returned to the pool.
+func (e *Engine) release(idx int32, s *eventSlot) {
+	s.fn = nil
+	s.gen++
+	e.free = append(e.free, idx)
+	e.live--
 }
 
 // Step executes the next pending event, advancing the clock to its time. It
 // reports whether an event ran.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.cancelled {
-			continue
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		e.pop()
+		s := &e.slots[top.slot]
+		if s.gen != top.gen {
+			continue // cancelled; slot already recycled
 		}
-		delete(e.pending, ev.seq)
-		e.now = ev.at
-		ev.fn()
+		fn := s.fn
+		e.release(top.slot, s)
+		e.now = top.at
+		fn()
 		return true
 	}
 	return false
@@ -181,15 +196,58 @@ func (e *Engine) Stopped() bool { return e.stopped }
 // clock, queue, and random source are untouched.
 func (e *Engine) Reset() { e.stopped = false }
 
+// NextEventAt reports the virtual time of the earliest pending event, if
+// any. Drivers use it to fast-forward periodic work across provably idle
+// stretches without disturbing event order.
+func (e *Engine) NextEventAt() (time.Duration, bool) { return e.peek() }
+
 func (e *Engine) peek() (time.Duration, bool) {
-	for e.queue.Len() > 0 {
-		if e.queue[0].cancelled {
-			heap.Pop(&e.queue)
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		if e.slots[top.slot].gen != top.gen {
+			e.pop() // stale entry for a cancelled event
 			continue
 		}
-		return e.queue[0].at, true
+		return top.at, true
 	}
 	return 0, false
+}
+
+// push appends ent and restores the heap invariant (sift up).
+func (e *Engine) push(ent heapEntry) {
+	e.heap = append(e.heap, ent)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+// pop removes the root entry and restores the heap invariant (sift down).
+func (e *Engine) pop() {
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && entryLess(e.heap[r], e.heap[l]) {
+			m = r
+		}
+		if !entryLess(e.heap[m], e.heap[i]) {
+			break
+		}
+		e.heap[i], e.heap[m] = e.heap[m], e.heap[i]
+		i = m
+	}
 }
 
 // Ticker invokes a callback at a fixed virtual period until stopped. It is
@@ -199,6 +257,7 @@ type Ticker struct {
 	engine  *Engine
 	period  time.Duration
 	fn      func()
+	rearm   func() // t.tick bound once, so re-arming never allocates
 	handle  Handle
 	stopped bool
 }
@@ -210,7 +269,8 @@ func NewTicker(e *Engine, period time.Duration, fn func()) (*Ticker, error) {
 		return nil, errors.New("sim: ticker period must be positive")
 	}
 	t := &Ticker{engine: e, period: period, fn: fn}
-	t.handle = e.After(period, t.tick)
+	t.rearm = t.tick
+	t.handle = e.After(period, t.rearm)
 	return t, nil
 }
 
@@ -222,7 +282,7 @@ func (t *Ticker) tick() {
 	// to the pending next tick: a Stop issued from inside fn cancels that
 	// live handle directly instead of a stale one, and no re-armed event
 	// can leak past the stop.
-	t.handle = t.engine.After(t.period, t.tick)
+	t.handle = t.engine.After(t.period, t.rearm)
 	t.fn()
 }
 

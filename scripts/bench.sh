@@ -1,0 +1,43 @@
+#!/bin/sh
+# Benchmark runner: executes the bench_test.go suite with a fixed
+# iteration count and several repetitions, then records a
+# benchstat-comparable JSON snapshot (BENCH_<n>.json) so the performance
+# trajectory is tracked PR over PR.
+#
+# Usage: scripts/bench.sh [-out FILE] [-old FILE] [-pattern REGEX]
+#   -out FILE      snapshot to write (default BENCH_4.json)
+#   -old FILE      previous raw bench text to compare against; the JSON
+#                  then includes per-benchmark speedups
+#   -pattern RE    benchmarks to run (default: all)
+# Environment: COUNT (default 5), BENCHTIME (default 1x).
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_4.json
+OLD=
+PATTERN=.
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -out) OUT=$2; shift 2 ;;
+    -old) OLD=$2; shift 2 ;;
+    -pattern) PATTERN=$2; shift 2 ;;
+    *) echo "bench.sh: unknown argument $1" >&2; exit 2 ;;
+    esac
+done
+COUNT=${COUNT:-5}
+BENCHTIME=${BENCHTIME:-1x}
+
+raw=$(mktemp "${TMPDIR:-/tmp}/bench.XXXXXX")
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench $PATTERN -benchtime=$BENCHTIME -count=$COUNT"
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" \
+    -count "$COUNT" . | tee "$raw"
+
+label=$(git rev-parse --short HEAD 2>/dev/null || echo dev)
+if [ -n "$OLD" ]; then
+    go run ./cmd/benchjson -label "$label" -old "$OLD" <"$raw" >"$OUT"
+else
+    go run ./cmd/benchjson -label "$label" <"$raw" >"$OUT"
+fi
+echo "bench: wrote $OUT"

@@ -6,8 +6,21 @@
 # packages get a second -count=2 pass (catches cross-run state leakage in
 # the seeded fault streams), and a vrsim run with every fault dimension
 # enabled smoke-tests self-healing end to end.
+#
+# With --bench, a single-iteration pass over the core benchmarks runs at
+# the end — a smoke check that the hot paths still execute and report,
+# making perf regressions visible without the full scripts/bench.sh
+# snapshot.
 set -eu
 cd "$(dirname "$0")/.."
+
+BENCH=0
+for arg in "$@"; do
+    case "$arg" in
+    --bench) BENCH=1 ;;
+    *) echo "verify.sh: unknown argument $arg" >&2; exit 2 ;;
+    esac
+done
 
 echo "== go vet ./..."
 go vet ./...
@@ -21,4 +34,10 @@ echo "== fault-sweep smoke run (cmd/vrsim)"
 go run ./cmd/vrsim -group 2 -level 1 -policy vr -faults \
     -mtbf 20m -crash requeue -droprate 0.1 -abortrate 0.2 -lease 30s \
     >/dev/null
+if [ "$BENCH" = 1 ]; then
+    echo "== bench smoke (single iteration)"
+    go test -run '^$' -benchtime=1x \
+        -bench 'BenchmarkClusterRun$|BenchmarkClusterRunBaseline|BenchmarkEngineScheduleRun|BenchmarkEngineScheduleCancel|BenchmarkNodeTick' \
+        -benchmem .
+fi
 echo "verify: OK"
