@@ -18,6 +18,7 @@ import (
 	"vrcluster/internal/memory"
 	"vrcluster/internal/metrics"
 	"vrcluster/internal/node"
+	"vrcluster/internal/obs"
 	"vrcluster/internal/policy"
 	"vrcluster/internal/runner"
 	"vrcluster/internal/sim"
@@ -275,10 +276,10 @@ func BenchmarkTraceGenerate(b *testing.B) {
 	}
 }
 
-// BenchmarkClusterRun measures a complete small trace execution on a
-// 32-node cluster under the full V-Reconfiguration stack, at the fine
-// 10 ms quantum.
-func BenchmarkClusterRun(b *testing.B) {
+// benchClusterTrace synthesizes the shared 60-job trace used by the
+// ClusterRun benchmark family.
+func benchClusterTrace(b *testing.B) *trace.Trace {
+	b.Helper()
 	tr, err := trace.Generate(trace.Config{
 		Name:     "bench",
 		Group:    workload.Group1,
@@ -293,6 +294,14 @@ func BenchmarkClusterRun(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return tr
+}
+
+// benchClusterRun runs the shared trace under the full V-Reconfiguration
+// stack; traced installs an unbounded event tracer first.
+func benchClusterRun(b *testing.B, traced bool) {
+	tr := benchClusterTrace(b)
+	events := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sched, err := core.NewVReconfiguration(core.Options{})
@@ -301,6 +310,9 @@ func BenchmarkClusterRun(b *testing.B) {
 		}
 		cfg := cluster.Cluster1()
 		cfg.Quantum = 10 * time.Millisecond
+		if traced {
+			cfg.Obs = obs.NewTracer(0)
+		}
 		c, err := cluster.New(cfg, sched)
 		if err != nil {
 			b.Fatal(err)
@@ -308,8 +320,24 @@ func BenchmarkClusterRun(b *testing.B) {
 		if _, err := c.Run(tr); err != nil {
 			b.Fatal(err)
 		}
+		events = c.Tracer().Len()
+	}
+	if traced {
+		b.ReportMetric(float64(events), "events")
 	}
 }
+
+// BenchmarkClusterRun measures a complete small trace execution on a
+// 32-node cluster under the full V-Reconfiguration stack, at the fine
+// 10 ms quantum, with tracing disabled (the emit path reduces to a nil
+// check). BENCH_5.json pairs it with BenchmarkClusterRunTraced to pin the
+// observability layer's overhead.
+func BenchmarkClusterRun(b *testing.B) { benchClusterRun(b, false) }
+
+// BenchmarkClusterRunTraced is the same execution with an unbounded event
+// tracer installed, measuring the cost of recording every scheduler
+// decision plus the periodic per-node samples.
+func BenchmarkClusterRunTraced(b *testing.B) { benchClusterRun(b, true) }
 
 // BenchmarkClusterRunBaseline is the same execution under plain
 // G-Loadsharing, isolating the reconfiguration machinery's overhead (the

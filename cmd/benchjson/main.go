@@ -44,6 +44,16 @@ type comparison struct {
 	NewAllocs float64 `json:"new_allocs_op,omitempty"`
 }
 
+// pair compares two benchmarks inside the same snapshot — e.g. a feature
+// toggled off vs on — reporting the variant's overhead over the base.
+type pair struct {
+	Base        string  `json:"base"`
+	Variant     string  `json:"variant"`
+	BaseNsOp    float64 `json:"base_ns_op"`
+	VariantNsOp float64 `json:"variant_ns_op"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
 type snapshot struct {
 	Label       string       `json:"label,omitempty"`
 	Env         []string     `json:"env,omitempty"` // goos/goarch/pkg/cpu header lines
@@ -52,6 +62,7 @@ type snapshot struct {
 	OldLabel    string       `json:"old_label,omitempty"`
 	OldRaw      []string     `json:"old_raw,omitempty"`
 	Comparisons []comparison `json:"comparisons,omitempty"`
+	Pairs       []pair       `json:"pairs,omitempty"`
 }
 
 // parse reads go-test bench output, returning header lines, parsed
@@ -119,6 +130,7 @@ func main() {
 	oldPath := flag.String("old", "", "previous snapshot's raw bench text to compare against")
 	label := flag.String("label", "", "label for this snapshot (e.g. git revision)")
 	oldLabel := flag.String("old-label", "", "label for the -old snapshot")
+	pairsArg := flag.String("pair", "", "comma-separated Base=Variant benchmark pairs to compare within this snapshot")
 	flag.Parse()
 
 	env, benches, raw, err := parse(os.Stdin)
@@ -127,6 +139,32 @@ func main() {
 		os.Exit(1)
 	}
 	snap := snapshot{Label: *label, Env: env, Benchmarks: benches, Raw: raw, OldLabel: *oldLabel}
+
+	if *pairsArg != "" {
+		byName := map[string]bench{}
+		for _, b := range benches {
+			byName[b.Name] = b
+		}
+		for _, spec := range strings.Split(*pairsArg, ",") {
+			base, variant, ok := strings.Cut(spec, "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchjson: -pair entry %q is not Base=Variant\n", spec)
+				os.Exit(1)
+			}
+			baseNs, ok1 := meanMetric(byName[base], "ns/op")
+			varNs, ok2 := meanMetric(byName[variant], "ns/op")
+			if !ok1 || !ok2 || baseNs == 0 {
+				continue // one side missing from this run's pattern
+			}
+			snap.Pairs = append(snap.Pairs, pair{
+				Base:        base,
+				Variant:     variant,
+				BaseNsOp:    baseNs,
+				VariantNsOp: varNs,
+				OverheadPct: 100 * (varNs - baseNs) / baseNs,
+			})
+		}
+	}
 
 	if *oldPath != "" {
 		f, err := os.Open(*oldPath)

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vrcluster/internal/obs"
+)
+
+// writeSampleTrace builds a small hand-made trace exercising every report
+// section: one closed episode, one reservation with a special migration,
+// and node samples for the Gantt chart.
+func writeSampleTrace(t *testing.T) string {
+	t.Helper()
+	events := []obs.Event{
+		{At: 0, Kind: obs.KindJobSubmit, Node: 0, Job: 1, Aux: 0},
+		{At: 10 * time.Millisecond, Kind: obs.KindJobAdmit, Node: 0, Job: 1, Aux: -1, Val: 40},
+		{At: time.Second, Kind: obs.KindEpisodeOpen, Node: -1, Job: -1, Aux: -1},
+		{At: time.Second, Kind: obs.KindReserveAcquire, Node: 2, Job: 1, Aux: -1, Val: 120},
+		{At: 2 * time.Second, Kind: obs.KindNodeSample, Node: 0, Job: -1, Aux: 1, Val: 88},
+		{At: 2 * time.Second, Kind: obs.KindNodeSample, Node: 2, Job: -1, Aux: 0, Val: 64, Flags: obs.FlagReserved},
+		{At: 3 * time.Second, Kind: obs.KindMigrationStart, Node: 0, Job: 1, Aux: 2, Val: 120, Flags: obs.FlagSpecial},
+		{At: 4 * time.Second, Kind: obs.KindMigrationComplete, Node: 2, Job: 1, Aux: -1, Val: 1, Flags: obs.FlagSpecial},
+		{At: 5 * time.Second, Kind: obs.KindReserveRelease, Node: 2, Job: -1, Aux: -1, Val: 4},
+		{At: 5 * time.Second, Kind: obs.KindEpisodeClose, Node: -1, Job: -1, Aux: -1, Val: 4},
+		{At: 6 * time.Second, Kind: obs.KindNodeSample, Node: 0, Job: -1, Aux: 0, Val: 128},
+		{At: 6 * time.Second, Kind: obs.KindNodeSample, Node: 2, Job: -1, Aux: 1, Val: 8},
+		{At: 7 * time.Second, Kind: obs.KindJobDone, Node: 2, Job: 1, Aux: -1},
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteJSONL(f, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSummarizesTrace(t *testing.T) {
+	path := writeSampleTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"13 events",
+		"blocking episodes: 1",
+		"complete: 1",
+		"reservations: 1",
+		"node 2   reserved 4s",
+		"migrations completed: 1",
+		"latency p50:",
+		"per-node timeline",
+		"node 0",
+		"'R' reserved",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// The Gantt row for node 2 must show its reserved sample.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "node 2   |") && !strings.Contains(line, "R") {
+			t.Errorf("node 2 Gantt row lost the reserved state: %q", line)
+		}
+	}
+}
+
+func TestRunGanttOff(t *testing.T) {
+	path := writeSampleTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-gantt=false", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "per-node timeline") {
+		t.Error("-gantt=false still rendered the timeline")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("missing file argument should fail")
+	}
+	if err := run([]string{"/nonexistent/trace.jsonl"}, &bytes.Buffer{}); err == nil {
+		t.Error("missing file should fail")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}, &bytes.Buffer{}); err == nil {
+		t.Error("empty trace should fail")
+	}
+}

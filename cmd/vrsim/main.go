@@ -1,17 +1,24 @@
 // Command vrsim runs cluster simulations: a workload trace (standard or
-// from a file) executed under a chosen scheduling policy, printing the
-// summary metrics the paper reports. With -levels, several submission
+// from a file via -in) executed under a chosen scheduling policy, printing
+// the summary metrics the paper reports. With -levels, several submission
 // intensities fan out across -parallel worker goroutines, each in its own
 // independent simulation; results print in level order and are identical
 // to running the levels one at a time.
+//
+// The observability layer rides along on demand: -trace writes every
+// scheduler decision as JSONL (summarize with vrobs), -perfetto writes a
+// Chrome/Perfetto timeline (open in ui.perfetto.dev), and -events prints
+// a human-readable tail of the last N decisions.
 //
 // Examples:
 //
 //	vrsim -group 1 -level 3 -policy vr
 //	vrsim -group 2 -level 5 -policy gls -quantum 10ms
-//	vrsim -trace mytrace.json -policy vr-early -json
+//	vrsim -in mytrace.json -policy vr-early -json
 //	vrsim -group 1 -levels 1,2,3,4,5 -policy vr -json
 //	vrsim -group 1 -level 2 -faults -mtbf 20m -crash requeue -lease 30s
+//	vrsim -group 1 -level 3 -policy vr -trace out.jsonl -perfetto out.json
+//	vrsim -group 1 -level 3 -policy vr -events 40
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -27,6 +35,7 @@ import (
 	"vrcluster/internal/core"
 	"vrcluster/internal/faults"
 	"vrcluster/internal/metrics"
+	"vrcluster/internal/obs"
 	"vrcluster/internal/policy"
 	"vrcluster/internal/runner"
 	"vrcluster/internal/trace"
@@ -48,7 +57,10 @@ func run(args []string) error {
 		policyArg  = fs.String("policy", "vr", "policy: gls, vr, vr-early, vr-netram, none, cpu, suspend")
 		seed       = fs.Int64("seed", 42, "trace generation seed")
 		quantum    = fs.Duration("quantum", 100*time.Millisecond, "CPU scheduling quantum")
-		traceFile  = fs.String("trace", "", "load trace from JSON file instead of generating")
+		inFile     = fs.String("in", "", "load the workload trace from a JSON file instead of generating")
+		obsFile    = fs.String("trace", "", "write the structured scheduler event trace to this JSONL file (with -levels: one file per level)")
+		perfFile   = fs.String("perfetto", "", "write a Chrome/Perfetto trace-event timeline to this JSON file (with -levels: one file per level)")
+		eventsN    = fs.Int("events", 0, "print a human-readable tail of the last N scheduler events after a single run")
 		jsonOut    = fs.Bool("json", false, "emit the result as JSON")
 		maxTime    = fs.Duration("maxtime", 0, "virtual time safety cap (0 = default)")
 		maxRes     = fs.Int("maxres", 0, "reservation cap override (0 = default)")
@@ -102,22 +114,32 @@ func run(args []string) error {
 		return fmt.Errorf("-droprate and -abortrate need -faults to take effect")
 	}
 
+	sc.obsCap = -1
+	if *obsFile != "" || *perfFile != "" {
+		sc.obsCap = 0 // unbounded: exporters need the full run
+	} else if *eventsN > 0 {
+		sc.obsCap = *eventsN // ring: only the tail is shown
+	}
+
 	if *levelsArg != "" {
 		for _, f := range []struct{ name, value string }{
-			{"-trace", *traceFile}, {"-record", *recordFile}, {"-series", *seriesFile}, {"-jobscsv", *jobsFile},
+			{"-in", *inFile}, {"-record", *recordFile}, {"-series", *seriesFile}, {"-jobscsv", *jobsFile},
 		} {
 			if f.value != "" {
 				return fmt.Errorf("%s applies to a single run and cannot be combined with -levels", f.name)
 			}
 		}
+		if *eventsN > 0 {
+			return fmt.Errorf("-events applies to a single run and cannot be combined with -levels")
+		}
 		levels, err := parseLevels(*levelsArg)
 		if err != nil {
 			return err
 		}
-		return runLevels(sc, *group, *seed, *parallel, levels, *jsonOut)
+		return runLevels(sc, *group, *seed, *parallel, levels, *jsonOut, *obsFile, *perfFile)
 	}
 
-	tr, err := loadTrace(*traceFile, *group, *level, *seed)
+	tr, err := loadTrace(*inFile, *group, *level, *seed)
 	if err != nil {
 		return err
 	}
@@ -159,6 +181,27 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if err := exportObs(c.Tracer(), *obsFile, *perfFile); err != nil {
+		return err
+	}
+	if *eventsN > 0 {
+		// With -json the result owns stdout; the event tail goes to stderr.
+		out := os.Stdout
+		if *jsonOut {
+			out = os.Stderr
+		}
+		tr := c.Tracer()
+		evs := tr.Events()
+		if len(evs) > *eventsN {
+			evs = evs[len(evs)-*eventsN:]
+		}
+		if d := tr.Dropped(); d > 0 {
+			fmt.Fprintf(out, "... %d earlier events dropped by the ring\n", d)
+		}
+		if err := obs.WriteText(out, evs); err != nil {
+			return err
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", " ")
@@ -166,6 +209,46 @@ func run(args []string) error {
 	}
 	printResult(res)
 	return nil
+}
+
+// exportObs writes the collected event trace to the requested files. A nil
+// tracer with non-empty paths cannot happen: run() sizes the tracer before
+// simulate whenever either path is set.
+func exportObs(tr *obs.Tracer, jsonlPath, perfettoPath string) error {
+	if jsonlPath != "" {
+		if err := writeFileWith(jsonlPath, func(f *os.File) error {
+			return obs.WriteJSONL(f, tr.Events())
+		}); err != nil {
+			return err
+		}
+	}
+	if perfettoPath != "" {
+		if err := writeFileWith(perfettoPath, func(f *os.File) error {
+			return obs.WritePerfetto(f, tr.Events())
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFileWith(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// levelPath derives the per-level output filename used under -levels by
+// inserting "-levelN" before the extension: out.jsonl -> out-level3.jsonl.
+func levelPath(path string, level int) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s-level%d%s", strings.TrimSuffix(path, ext), level, ext)
 }
 
 // simConfig carries the per-simulation knobs shared by the single-run and
@@ -183,6 +266,10 @@ type simConfig struct {
 	lease      time.Duration
 	faultPlan  faults.Plan
 	record     bool
+	// obsCap sizes the event tracer: -1 disables tracing entirely, 0
+	// keeps every event (for the file exporters), >0 keeps a bounded
+	// tail (for -events).
+	obsCap int
 }
 
 // simulate runs tr on a newly built cluster under the configured policy.
@@ -202,6 +289,9 @@ func (sc simConfig) simulate(tr *trace.Trace) (*cluster.Cluster, cluster.Schedul
 	}
 	if sc.record {
 		cfg.RecordInterval = 10 * time.Millisecond
+	}
+	if sc.obsCap >= 0 {
+		cfg.Obs = obs.NewTracer(sc.obsCap)
 	}
 	cfg.Faults = sc.faultPlan
 	sched, err := buildPolicy(sc.policy, core.Options{
@@ -253,15 +343,28 @@ func parseLevels(arg string) ([]int, error) {
 
 // runLevels fans the requested levels out across parallel workers, one
 // independent simulation each, and prints the results in input order.
-func runLevels(sc simConfig, group int, seed int64, parallel int, levels []int, jsonOut bool) error {
+func runLevels(sc simConfig, group int, seed int64, parallel int, levels []int, jsonOut bool, obsFile, perfFile string) error {
 	start := time.Now()
 	timed, err := runner.MapTimed(parallel, levels, func(_ int, lvl int) (*metrics.Result, error) {
 		tr, err := loadTrace("", group, lvl, seed)
 		if err != nil {
 			return nil, err
 		}
-		_, _, res, err := sc.simulate(tr)
-		return res, err
+		c, _, res, err := sc.simulate(tr)
+		if err != nil {
+			return nil, err
+		}
+		var jp, pp string
+		if obsFile != "" {
+			jp = levelPath(obsFile, lvl)
+		}
+		if perfFile != "" {
+			pp = levelPath(perfFile, lvl)
+		}
+		if err := exportObs(c.Tracer(), jp, pp); err != nil {
+			return nil, err
+		}
+		return res, nil
 	})
 	if err != nil {
 		return err

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"vrcluster/internal/core"
+	"vrcluster/internal/obs"
 	"vrcluster/internal/trace"
 	"vrcluster/internal/workload"
 )
@@ -110,8 +112,91 @@ func TestRunSmallSimulation(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-trace", path, "-policy", "vr", "-json"}); err != nil {
+	if err := run([]string{"-in", path, "-policy", "vr", "-json"}); err != nil {
 		t.Fatalf("simulation failed: %v", err)
+	}
+}
+
+func TestRunObsExports(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "out.jsonl")
+	perf := filepath.Join(dir, "out.json")
+	err := run([]string{"-group", "2", "-level", "1", "-policy", "vr", "-json",
+		"-trace", jsonl, "-perfetto", perf, "-events", "5"})
+	if err != nil {
+		t.Fatalf("traced run failed: %v", err)
+	}
+	f, err := os.Open(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("exported JSONL does not parse: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("traced run produced no events")
+	}
+	counts := obs.CountByKind(events)
+	for _, k := range []obs.Kind{obs.KindJobSubmit, obs.KindJobAdmit, obs.KindJobDone, obs.KindNodeSample} {
+		if counts[k] == 0 {
+			t.Errorf("trace has no %v events", k)
+		}
+	}
+	raw, err := os.ReadFile(perf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("perfetto export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("perfetto export has no trace events")
+	}
+}
+
+func TestRunLevelsObsExports(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "out.jsonl")
+	err := run([]string{"-group", "1", "-levels", "1,2", "-policy", "vr", "-parallel", "2", "-json",
+		"-trace", jsonl})
+	if err != nil {
+		t.Fatalf("traced fan-out failed: %v", err)
+	}
+	for _, lvl := range []int{1, 2} {
+		path := levelPath(jsonl, lvl)
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("missing per-level trace: %v", err)
+		}
+		events, err := obs.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("level %d trace does not parse: %v", lvl, err)
+		}
+		if len(events) == 0 {
+			t.Fatalf("level %d trace is empty", lvl)
+		}
+	}
+}
+
+func TestLevelPath(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		lvl  int
+		want string
+	}{
+		{"out.jsonl", 3, "out-level3.jsonl"},
+		{"dir/run.json", 1, "dir/run-level1.json"},
+		{"noext", 2, "noext-level2"},
+	} {
+		if got := levelPath(tc.in, tc.lvl); got != tc.want {
+			t.Errorf("levelPath(%q, %d) = %q, want %q", tc.in, tc.lvl, got, tc.want)
+		}
 	}
 }
 
@@ -147,10 +232,11 @@ func TestParseLevels(t *testing.T) {
 
 func TestLevelsFlagConflicts(t *testing.T) {
 	for _, args := range [][]string{
-		{"-levels", "1", "-trace", "t.json"},
+		{"-levels", "1", "-in", "t.json"},
 		{"-levels", "1", "-record", "r.json"},
 		{"-levels", "1", "-series", "s.csv"},
 		{"-levels", "1", "-jobscsv", "j.csv"},
+		{"-levels", "1", "-events", "10"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) should reject the single-run output flag", args)

@@ -120,6 +120,9 @@ func inspectTrace(path string) error {
 	fmt.Printf(" median submission: %.1fs\n", med)
 	fmt.Printf(" cpu demand: mean %.1fs min %.1fs max %.1fs\n", cpu.Mean(), cpu.Min(), cpu.Max())
 	fmt.Printf(" working set: mean %.1fMB min %.1fMB max %.1fMB\n", ws.Mean(), ws.Min(), ws.Max())
+	if err := printPhaseDemand(tr); err != nil {
+		return err
+	}
 	fmt.Printf(" offered CPU load: %.2f\n",
 		cpu.Mean()*float64(len(tr.Items))/(tr.Duration().Seconds()*float64(tr.Nodes)))
 	fmt.Println(" program mix:")
@@ -129,4 +132,74 @@ func inspectTrace(path string) error {
 		}
 	}
 	return nil
+}
+
+// printPhaseDemand materializes the trace's jobs and reports the
+// distribution of end-of-phase memory demand per phase index, so a trace's
+// ramp/hold/cycle structure is visible before any simulation runs.
+func printPhaseDemand(tr *trace.Trace) error {
+	jobs, err := tr.Jobs()
+	if err != nil {
+		return err
+	}
+	var byPhase [][]float64
+	for _, j := range jobs {
+		for i, p := range j.Phases {
+			if i >= len(byPhase) {
+				byPhase = append(byPhase, nil)
+			}
+			byPhase[i] = append(byPhase[i], p.EndMB)
+		}
+	}
+	fmt.Println(" memory demand by phase (end-of-phase MB):")
+	for i, vals := range byPhase {
+		h := demandHistogram(vals)
+		p50, err := h.Percentile(50)
+		if err != nil {
+			return err
+		}
+		p95, err := h.Percentile(95)
+		if err != nil {
+			return err
+		}
+		mx, err := h.Max()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  phase %d: %4d jobs  p50 %7.1fMB  p95 %7.1fMB  max %7.1fMB\n",
+			i+1, h.N(), p50, p95, mx)
+	}
+	return nil
+}
+
+// demandHistogram buckets the values over 16 evenly spaced edges spanning
+// the observed range (one degenerate edge when all values coincide).
+func demandHistogram(vals []float64) *stats.Histogram {
+	mn, mx := vals[0], vals[0]
+	for _, v := range vals {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	const buckets = 16
+	var edges []float64
+	if mx <= mn {
+		edges = []float64{mn}
+	} else {
+		step := (mx - mn) / buckets
+		for i := 1; i <= buckets; i++ {
+			edges = append(edges, mn+step*float64(i))
+		}
+	}
+	h, err := stats.NewHistogram(edges)
+	if err != nil {
+		panic(err) // ascending by construction
+	}
+	for _, v := range vals {
+		h.Add(v)
+	}
+	return h
 }

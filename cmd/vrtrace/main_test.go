@@ -1,9 +1,14 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"vrcluster/internal/trace"
+	"vrcluster/internal/workload"
 )
 
 func TestGenerateStandardToFile(t *testing.T) {
@@ -34,6 +39,62 @@ func TestGenerateCustom(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := run([]string{"-inspect", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInspectReportsPhasePercentiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.json")
+	if err := run([]string{"-group", "1", "-level", "2", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	inspectErr := run([]string{"-inspect", path})
+	w.Close()
+	os.Stdout = old
+	raw, _ := io.ReadAll(r)
+	if inspectErr != nil {
+		t.Fatal(inspectErr)
+	}
+	out := string(raw)
+	for _, want := range []string{"memory demand by phase", "phase 1:", "phase 2:", "p50", "p95", "max"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDemandHistogram(t *testing.T) {
+	// Degenerate: all demands equal.
+	h := demandHistogram([]float64{64, 64, 64})
+	if p50, _ := h.Percentile(50); p50 != 64 {
+		t.Errorf("degenerate p50 = %v, want 64", p50)
+	}
+	// Spread: percentiles bounded by observed range.
+	h = demandHistogram([]float64{10, 20, 30, 40, 200})
+	p95, _ := h.Percentile(95)
+	mx, _ := h.Max()
+	if mx != 200 || p95 > 200 || p95 < 10 {
+		t.Errorf("p95 = %v max = %v out of range", p95, mx)
+	}
+	if h.N() != 5 {
+		t.Errorf("N = %d, want 5", h.N())
+	}
+}
+
+func TestPhaseDemandCoversRangedPrograms(t *testing.T) {
+	// Group 2 includes metis with a ranged working set (4 phases); make
+	// sure the per-phase breakdown handles jobs of differing phase counts.
+	tr, err := trace.Standard(workload.Group2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := printPhaseDemand(tr); err != nil {
 		t.Fatal(err)
 	}
 }

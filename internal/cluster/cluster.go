@@ -22,6 +22,7 @@ import (
 	"vrcluster/internal/netlink"
 	"vrcluster/internal/network"
 	"vrcluster/internal/node"
+	"vrcluster/internal/obs"
 	"vrcluster/internal/record"
 	"vrcluster/internal/sim"
 	"vrcluster/internal/trace"
@@ -85,6 +86,11 @@ type Config struct {
 	// dense-vs-elided equivalence tests run the same trace both ways and
 	// require identical results.
 	DenseTicks bool
+
+	// Obs, when non-nil, receives a structured event for every scheduler
+	// decision made during Run (see internal/obs for the taxonomy). Nil
+	// disables tracing; instrumented paths then cost only a nil check.
+	Obs *obs.Tracer
 
 	Seed int64
 }
@@ -189,6 +195,7 @@ type Cluster struct {
 
 	injector *faults.Injector // non-nil while a fault plan is active
 	homes    map[int]int      // job ID -> home workstation (crash requeues)
+	obs      *obs.Tracer      // nil unless a sink is installed
 }
 
 // New assembles a cluster around a scheduling policy.
@@ -224,20 +231,72 @@ func New(cfg Config, sched Scheduler) (*Cluster, error) {
 		net:    cfg.Network,
 		sched:  sched,
 		col:    col,
+		obs:    cfg.Obs,
 	}
 	if cfg.SharedNetwork {
 		link, err := netlink.New(c.engine, cfg.Network.BandwidthMbps)
 		if err != nil {
 			return nil, err
 		}
+		link.SetTracer(cfg.Obs)
 		c.link = link
 	}
 	c.active = make([]uint64, (len(nodes)+63)/64)
 	for i, n := range nodes {
 		id := i
 		n.SetResidencyWatcher(func(resident int) { c.setActive(id, resident > 0) })
+		n.SetTracer(cfg.Obs)
 	}
 	return c, nil
+}
+
+// Tracer returns the installed event sink, or nil when tracing is off.
+// All obs.Tracer methods are nil-receiver safe, so callers emit through
+// the returned pointer without checking it.
+func (c *Cluster) Tracer() *obs.Tracer { return c.obs }
+
+// emit appends one event at the current virtual time. The nil check keeps
+// the disabled path free of event construction on hot call sites.
+func (c *Cluster) emit(k obs.Kind, nodeID, jobID, aux int, val float64, flags uint8) {
+	if c.obs == nil {
+		return
+	}
+	c.obs.Emit(obs.Event{
+		At:    c.engine.Now(),
+		Kind:  k,
+		Flags: flags,
+		Node:  int32(nodeID),
+		Job:   int32(jobID),
+		Aux:   int32(aux),
+		Val:   val,
+	})
+}
+
+// sampleObs emits the periodic per-node time series (idle memory,
+// resident jobs, reserved/down flags) alongside the metrics sample.
+func (c *Cluster) sampleObs() {
+	if c.obs == nil {
+		return
+	}
+	now := c.engine.Now()
+	for _, n := range c.nodes {
+		var fl uint8
+		if n.Reserved() {
+			fl |= obs.FlagReserved
+		}
+		if n.Down() {
+			fl |= obs.FlagDown
+		}
+		c.obs.Emit(obs.Event{
+			At:    now,
+			Kind:  obs.KindNodeSample,
+			Flags: fl,
+			Node:  int32(n.ID()),
+			Job:   -1,
+			Aux:   int32(n.NumJobs()),
+			Val:   n.IdleMB(),
+		})
+	}
 }
 
 // setActive flips node id's bit in the active-workstation mask.
@@ -363,10 +422,10 @@ func (c *Cluster) Run(tr *trace.Trace) (*metrics.Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		inj.SetTracer(c.obs)
 		c.injector = inj
 		inj.Start()
 	}
-
 	// The quantum clock is self-arming rather than a fixed sim.Ticker:
 	// while any workstation holds a job it re-arms one quantum ahead
 	// (before the tick body, exactly as a Ticker would, so events the
@@ -417,6 +476,7 @@ func (c *Cluster) Run(tr *trace.Trace) (*metrics.Result, error) {
 
 	sampleTicker, err := sim.NewTicker(c.engine, c.cfg.SampleInterval, func() {
 		c.col.Observe(c.engine.Now(), c.nodes, len(c.pending))
+		c.sampleObs()
 	})
 	if err != nil {
 		return nil, err
@@ -458,8 +518,10 @@ func (c *Cluster) Run(tr *trace.Trace) (*metrics.Result, error) {
 
 // submit routes one arriving (or retried) job through the policy.
 func (c *Cluster) submit(j *job.Job, home int) {
+	c.emit(obs.KindJobSubmit, home, j.ID, j.Restarts(), 0, 0)
 	target, remote, ok := c.sched.Place(c, j, home)
 	if !ok {
+		c.emit(obs.KindJobBlock, home, j.ID, -1, 0, 0)
 		c.pending = append(c.pending, pendingSubmission{j: j, home: home})
 		return
 	}
@@ -475,21 +537,25 @@ func (c *Cluster) place(j *job.Job, home, target int, remote bool) {
 	_ = c.board.NotePlacement(target, j.MemoryDemandMB())
 	if !remote {
 		if err := c.nodes[target].Admit(j, c.engine.Now()); err != nil {
+			c.emit(obs.KindJobBlock, target, j.ID, -1, 0, 0)
 			c.pending = append(c.pending, pendingSubmission{j: j, home: home})
 		}
 		return
 	}
 	c.col.RemoteSubmissions++
 	r := c.net.SubmissionCost()
+	c.emit(obs.KindRemoteSubmit, target, j.ID, home, r.Seconds(), 0)
 	c.engine.After(r, func() {
 		n := c.nodes[target]
 		if !n.HasSlot() || n.Reserved() {
 			// The slot vanished while the submission was in
 			// flight; requeue.
+			c.emit(obs.KindJobBlock, target, j.ID, -1, 0, 0)
 			c.pending = append(c.pending, pendingSubmission{j: j, home: home})
 			return
 		}
 		if err := n.Admit(j, c.engine.Now()); err != nil {
+			c.emit(obs.KindJobBlock, target, j.ID, -1, 0, 0)
 			c.pending = append(c.pending, pendingSubmission{j: j, home: home})
 			return
 		}
@@ -533,9 +599,18 @@ func (c *Cluster) Migrate(j *job.Job, dstID int, special bool) error {
 	if special {
 		c.col.ReservedMigration++
 	}
+	c.emit(obs.KindMigrationStart, srcID, j.ID, dstID, demand, specialFlag(special))
 	_ = c.board.NotePlacement(dstID, demand)
 	c.startTransfer(j, dstID, demand, 0, special, 1)
 	return nil
+}
+
+// specialFlag marks reservation special service on migration events.
+func specialFlag(special bool) uint8 {
+	if special {
+		return obs.FlagSpecial
+	}
+	return 0
 }
 
 // startTransfer ships a frozen job's memory image to dstID, landing it
@@ -606,10 +681,12 @@ func (c *Cluster) startTransfer(j *job.Job, dstID int, demandMB float64, priorCo
 // retargeting at the next control period.
 func (c *Cluster) migrationAborted(j *job.Job, dstID int, demandMB float64, cost time.Duration, special bool, attempt int) {
 	c.col.MigrationAborts++
+	c.emit(obs.KindMigrationAbort, -1, j.ID, dstID, cost.Seconds(), specialFlag(special))
 	plan := c.injector.Plan()
 	if attempt < plan.MaxRetries {
 		c.col.MigrationRetries++
 		backoff := plan.Backoff(attempt)
+		c.emit(obs.KindMigrationRetry, -1, j.ID, attempt+1, backoff.Seconds(), specialFlag(special))
 		c.engine.After(backoff, func() {
 			_ = j.AddFrozenQueue(backoff)
 			c.startTransfer(j, dstID, demandMB, cost, special, attempt+1)
@@ -617,6 +694,7 @@ func (c *Cluster) migrationAborted(j *job.Job, dstID int, demandMB float64, cost
 		return
 	}
 	c.col.MigrationGiveUps++
+	c.emit(obs.KindMigrationGiveUp, -1, j.ID, dstID, 0, specialFlag(special))
 	if n, err := c.Node(dstID); err == nil {
 		_ = n.CancelExpected(j.ID)
 	}
@@ -656,12 +734,14 @@ func (c *Cluster) crashNode(id int) error {
 				return err
 			}
 			c.col.JobsRequeued++
+			c.emit(obs.KindJobRequeue, id, j.ID, c.homes[j.ID], 0, 0)
 			c.submit(j, c.homes[j.ID])
 		default:
 			if err := j.Kill(now); err != nil {
 				return err
 			}
 			c.col.JobsKilled++
+			c.emit(obs.KindJobKill, id, j.ID, -1, 0, 0)
 			c.outstanding--
 		}
 	}
@@ -793,10 +873,12 @@ func (c *Cluster) retryStranded(now time.Duration) {
 				if !s.retransfer && id == s.dstID {
 					if err := dst.AttachMigrated(s.j, s.cost, s.special, now); err == nil {
 						c.col.DegradedAdmits++
+						c.emit(obs.KindDegrade, id, s.j.ID, -1, 0, 0)
 						continue
 					}
 				} else if err := c.nodes[id].ExpectMigration(s.j.ID, demand); err == nil {
 					c.col.DegradedAdmits++
+					c.emit(obs.KindDegrade, id, s.j.ID, -1, 0, 0)
 					_ = c.board.NotePlacement(id, demand)
 					c.startTransfer(s.j, id, demand, s.cost, s.special, 1)
 					continue
@@ -857,6 +939,7 @@ func (c *Cluster) degradePending(now time.Duration) {
 		if id, ok := c.degradeTarget(p.home); ok {
 			if err := c.nodes[id].Admit(p.j, now); err == nil {
 				c.col.DegradedAdmits++
+				c.emit(obs.KindDegrade, id, p.j.ID, -1, 0, 0)
 				_ = c.board.NotePlacement(id, p.j.MemoryDemandMB())
 				continue
 			}

@@ -28,6 +28,7 @@ import (
 	"vrcluster/internal/cluster"
 	"vrcluster/internal/job"
 	"vrcluster/internal/node"
+	"vrcluster/internal/obs"
 	"vrcluster/internal/predict"
 )
 
@@ -169,6 +170,12 @@ type Manager struct {
 	reserved  map[int]*reservedState
 	stats     Stats
 	records   []ReservationRecord
+
+	// episodeOpen/episodeSince track the cluster-wide blocking episode for
+	// the observability layer only; they are maintained exclusively while
+	// a tracer is installed and never feed scheduling decisions.
+	episodeOpen  bool
+	episodeSince time.Duration
 }
 
 // NewManager builds a reconfiguration manager.
@@ -299,6 +306,8 @@ func (m *Manager) OnBlocked(c *cluster.Cluster, now time.Duration, src *node.Nod
 	m.reserving[id] = &reservingState{since: now, neededMB: victim.MemoryDemandMB()}
 	m.stats.Started++
 	c.Collector().Reservations++
+	c.Tracer().Emit(obs.Event{At: now, Kind: obs.KindReserveAcquire,
+		Node: int32(id), Job: int32(victim.ID), Aux: -1, Val: victim.MemoryDemandMB()})
 }
 
 // Stats returns the manager's attempt counters.
@@ -323,6 +332,9 @@ func sortedIDs[V any](m map[int]V) []int {
 // workstations to reserved service, migrating the most memory-intensive
 // page-faulting job in.
 func (m *Manager) OnControl(c *cluster.Cluster, now time.Duration) {
+	if tr := c.Tracer(); tr.Enabled() {
+		m.trackEpisode(tr, m.blockingExists(c), now)
+	}
 	if len(m.reserving) == 0 && len(m.reserved) == 0 {
 		return
 	}
@@ -343,6 +355,10 @@ func (m *Manager) OnControl(c *cluster.Cluster, now time.Duration) {
 			if now > st.since {
 				c.Collector().ReservationTime += now - st.since
 			}
+			c.Tracer().Emit(obs.Event{At: now, Kind: obs.KindLeaseExpire, Flags: obs.FlagCrash,
+				Node: int32(id), Job: -1, Aux: -1})
+			c.Tracer().Emit(obs.Event{At: now, Kind: obs.KindReserveRelease, Flags: obs.FlagCrash,
+				Node: int32(id), Job: -1, Aux: -1, Val: (now - st.since).Seconds()})
 			delete(m.reserving, id)
 			m.reselect(c, now, id, st.neededMB)
 			continue
@@ -366,6 +382,8 @@ func (m *Manager) OnControl(c *cluster.Cluster, now time.Duration) {
 			if m.opts.Lease > 0 {
 				m.stats.LeaseExpired++
 				c.Collector().LeaseExpiries++
+				c.Tracer().Emit(obs.Event{At: now, Kind: obs.KindLeaseExpire,
+					Node: int32(id), Job: -1, Aux: -1})
 				m.reselect(c, now, id, st.neededMB)
 			}
 			continue
@@ -384,6 +402,8 @@ func (m *Manager) OnControl(c *cluster.Cluster, now time.Duration) {
 			continue
 		}
 		delete(m.reserving, id)
+		c.Tracer().Emit(obs.Event{At: now, Kind: obs.KindReservePromote,
+			Node: int32(id), Job: -1, Aux: int32(len(victims))})
 		arrivals := make([]time.Duration, len(victims))
 		for i := range arrivals {
 			arrivals[i] = now
@@ -408,6 +428,8 @@ func (m *Manager) OnControl(c *cluster.Cluster, now time.Duration) {
 		if n.Down() {
 			m.stats.CrashBroken++
 			c.Collector().LeaseExpiries++
+			c.Tracer().Emit(obs.Event{At: now, Kind: obs.KindLeaseExpire, Flags: obs.FlagCrash,
+				Node: int32(id), Job: -1, Aux: -1})
 			m.finishReserved(c, n, rs, now)
 			delete(m.reserved, id)
 			continue
@@ -439,6 +461,10 @@ func (m *Manager) reselect(c *cluster.Cluster, now time.Duration, exclude int, n
 	m.reserving[id] = &reservingState{since: now, neededMB: neededMB}
 	m.stats.LeaseReselected++
 	c.Collector().LeaseReselections++
+	c.Tracer().Emit(obs.Event{At: now, Kind: obs.KindLeaseReselect,
+		Node: int32(id), Job: -1, Aux: int32(exclude), Val: neededMB})
+	c.Tracer().Emit(obs.Event{At: now, Kind: obs.KindReserveAcquire,
+		Node: int32(id), Job: -1, Aux: int32(exclude), Val: neededMB})
 }
 
 // OnJobDone lets reservations release promptly on the completion that
@@ -487,6 +513,28 @@ func (m *Manager) release(c *cluster.Cluster, n *node.Node, since, now time.Dura
 	if now > since {
 		c.Collector().ReservationTime += now - since
 	}
+	c.Tracer().Emit(obs.Event{At: now, Kind: obs.KindReserveRelease,
+		Node: int32(n.ID()), Job: -1, Aux: -1, Val: (now - since).Seconds()})
+}
+
+// trackEpisode maintains the cluster-wide blocking-episode span for the
+// trace: an episode opens at the first control period where the blocking
+// problem exists and closes at the first where it no longer does. It runs
+// only while a tracer is installed, recomputing the same side-effect-free
+// predicate the reservation logic uses, so tracing never perturbs the
+// schedule.
+func (m *Manager) trackEpisode(tr *obs.Tracer, blocked bool, now time.Duration) {
+	if blocked == m.episodeOpen {
+		return
+	}
+	if blocked {
+		m.episodeOpen, m.episodeSince = true, now
+		tr.Emit(obs.Event{At: now, Kind: obs.KindEpisodeOpen, Node: -1, Job: -1, Aux: -1})
+		return
+	}
+	m.episodeOpen = false
+	tr.Emit(obs.Event{At: now, Kind: obs.KindEpisodeClose,
+		Node: -1, Job: -1, Aux: -1, Val: (now - m.episodeSince).Seconds()})
 }
 
 // drained reports whether the reserving period is over under the manager's

@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"time"
 
+	"vrcluster/internal/obs"
 	"vrcluster/internal/sim"
 )
 
@@ -180,7 +181,14 @@ type Injector struct {
 	crashRNG []*rand.Rand // per-node crash/repair timing
 	dropRNG  []*rand.Rand // per-node exchange-drop draws
 	migRNG   *rand.Rand   // migration-abort draws, in transfer-start order
+
+	tr *obs.Tracer // nil when tracing is off
 }
+
+// SetTracer installs the structured event sink; the injector then emits
+// crash/repair events just before invoking the cluster hooks, so the
+// fault precedes its consequences in the trace.
+func (in *Injector) SetTracer(tr *obs.Tracer) { in.tr = tr }
 
 // stream derives an independent deterministic random stream from the plan
 // seed, a dimension salt, and a node index (SplitMix64-style mixing).
@@ -239,6 +247,10 @@ func (in *Injector) Start() {
 func (in *Injector) armCrash(id int) {
 	d := time.Duration(in.crashRNG[id].ExpFloat64() * float64(in.plan.MTBF))
 	in.engine.After(d, func() {
+		if in.tr != nil {
+			in.tr.Emit(obs.Event{At: in.engine.Now(), Kind: obs.KindNodeCrash,
+				Node: int32(id), Job: -1, Aux: -1})
+		}
 		if in.hooks.Crash != nil {
 			in.hooks.Crash(id)
 		}
@@ -249,6 +261,10 @@ func (in *Injector) armCrash(id int) {
 func (in *Injector) armRecover(id int) {
 	d := time.Duration(in.crashRNG[id].ExpFloat64() * float64(in.plan.MTTR))
 	in.engine.After(d, func() {
+		if in.tr != nil {
+			in.tr.Emit(obs.Event{At: in.engine.Now(), Kind: obs.KindNodeRepair,
+				Node: int32(id), Job: -1, Aux: -1})
+		}
 		if in.hooks.Recover != nil {
 			in.hooks.Recover(id)
 		}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"vrcluster/internal/obs"
 	"vrcluster/internal/sim"
 )
 
@@ -36,6 +37,20 @@ type Link struct {
 	lastSettle time.Duration
 	nextEvent  sim.Handle
 	hasEvent   bool
+	tr         *obs.Tracer // nil when tracing is off
+}
+
+// SetTracer installs the structured event sink for wire-level transfer
+// events. The link knows transfer IDs and payload sizes, not job IDs.
+func (l *Link) SetTracer(tr *obs.Tracer) { l.tr = tr }
+
+// emit appends one transfer event at the current virtual time.
+func (l *Link) emit(k obs.Kind, id int, val float64) {
+	if l.tr == nil {
+		return
+	}
+	l.tr.Emit(obs.Event{At: l.engine.Now(), Kind: k,
+		Node: -1, Job: -1, Aux: int32(id), Val: val})
 }
 
 // New builds a shared link on the engine with the given bandwidth in
@@ -77,6 +92,7 @@ func (l *Link) Start(dataMB float64, done func(elapsed time.Duration)) (int, err
 		done:     done,
 	}
 	l.active[t.id] = t
+	l.emit(obs.KindTransferStart, t.id, dataMB)
 	l.reschedule()
 	return t.id, nil
 }
@@ -95,6 +111,7 @@ func (l *Link) Cancel(id int) (time.Duration, bool) {
 	}
 	l.settle()
 	delete(l.active, id)
+	l.emit(obs.KindTransferCancel, id, (l.engine.Now() - t.started).Seconds())
 	l.reschedule()
 	return l.engine.Now() - t.started, true
 }
@@ -157,6 +174,7 @@ func (l *Link) completeDue() {
 		t := l.active[id]
 		if t.bitsLeft <= 1e-6 {
 			delete(l.active, id)
+			l.emit(obs.KindTransferEnd, id, (now - t.started).Seconds())
 			t.done(now - t.started)
 		}
 	}

@@ -12,6 +12,7 @@ import (
 
 	"vrcluster/internal/job"
 	"vrcluster/internal/memory"
+	"vrcluster/internal/obs"
 )
 
 // Config describes one workstation.
@@ -124,6 +125,10 @@ type Node struct {
 	// cluster uses it to maintain its active-workstation set.
 	watcher func(resident int)
 
+	// tr receives admission, landing, and completion events; nil when
+	// tracing is off.
+	tr *obs.Tracer
+
 	// incoming holds capacity (a job slot and memory demand) for
 	// migrations in flight toward this node, so the destination cannot
 	// fill up while the memory image is being transferred.
@@ -155,6 +160,10 @@ func New(cfg Config) (*Node, error) {
 // after every admission, landing, detach, crash, and completion. A nil fn
 // clears the watcher.
 func (n *Node) SetResidencyWatcher(fn func(resident int)) { n.watcher = fn }
+
+// SetTracer installs the structured event sink. A nil tracer disables the
+// node's emissions.
+func (n *Node) SetTracer(tr *obs.Tracer) { n.tr = tr }
 
 // notifyResidency reports the current resident count to the watcher.
 func (n *Node) notifyResidency() {
@@ -401,6 +410,10 @@ func (n *Node) Admit(j *job.Job, now time.Duration) error {
 		return err
 	}
 	n.appendResident(j, now, d)
+	if n.tr != nil {
+		n.tr.Emit(obs.Event{At: now, Kind: obs.KindJobAdmit,
+			Node: int32(n.cfg.ID), Job: int32(j.ID), Aux: -1, Val: d})
+	}
 	return nil
 }
 
@@ -430,6 +443,14 @@ func (n *Node) AttachMigrated(j *job.Job, cost time.Duration, special bool, now 
 	n.appendResident(j, now, d)
 	if special {
 		n.reservedJobs[j.ID] = true
+	}
+	if n.tr != nil {
+		var fl uint8
+		if special {
+			fl = obs.FlagSpecial
+		}
+		n.tr.Emit(obs.Event{At: now, Kind: obs.KindMigrationComplete, Flags: fl,
+			Node: int32(n.cfg.ID), Job: int32(j.ID), Aux: -1, Val: cost.Seconds()})
 	}
 	return nil
 }
@@ -585,6 +606,10 @@ func (n *Node) Tick(dt time.Duration, now time.Duration) ([]*job.Job, error) {
 				return nil, err
 			}
 			delete(n.reservedJobs, j.ID)
+			if n.tr != nil {
+				n.tr.Emit(obs.Event{At: now, Kind: obs.KindJobDone,
+					Node: int32(n.cfg.ID), Job: int32(j.ID), Aux: -1})
+			}
 			continue
 		}
 		// Demand evolves with progress; refresh the memory manager only

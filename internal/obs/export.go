@@ -1,0 +1,231 @@
+// Exporters for the structured event stream: byte-stable JSONL for
+// tooling, Chrome/Perfetto trace-event JSON for timeline rendering, and a
+// human-readable text form for terminal tails. JSONL lines are formatted
+// by hand (fixed key order, shortest float form) so a trace is
+// byte-identical wherever and however it was produced — the determinism
+// tests diff raw exported bytes across parallel fan-out widths.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// jsonEvent is the JSONL wire form of one Event. Timestamps are integer
+// nanoseconds of virtual time.
+type jsonEvent struct {
+	T int64   `json:"t"`
+	K string  `json:"k"`
+	N int32   `json:"n"`
+	J int32   `json:"j"`
+	A int32   `json:"a"`
+	V float64 `json:"v"`
+	F uint8   `json:"f"`
+}
+
+// WriteJSONL writes one event per line with a fixed field order.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	var scratch []byte
+	for _, ev := range events {
+		scratch = scratch[:0]
+		scratch = append(scratch, `{"t":`...)
+		scratch = strconv.AppendInt(scratch, ev.At.Nanoseconds(), 10)
+		scratch = append(scratch, `,"k":"`...)
+		scratch = append(scratch, ev.Kind.String()...)
+		scratch = append(scratch, `","n":`...)
+		scratch = strconv.AppendInt(scratch, int64(ev.Node), 10)
+		scratch = append(scratch, `,"j":`...)
+		scratch = strconv.AppendInt(scratch, int64(ev.Job), 10)
+		scratch = append(scratch, `,"a":`...)
+		scratch = strconv.AppendInt(scratch, int64(ev.Aux), 10)
+		scratch = append(scratch, `,"v":`...)
+		scratch = strconv.AppendFloat(scratch, ev.Val, 'g', -1, 64)
+		scratch = append(scratch, `,"f":`...)
+		scratch = strconv.AppendUint(scratch, uint64(ev.Flags), 10)
+		scratch = append(scratch, "}\n"...)
+		if _, err := bw.Write(scratch); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a trace written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		k, err := ParseKind(je.K)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		out = append(out, Event{
+			At:    time.Duration(je.T),
+			Kind:  k,
+			Flags: je.F,
+			Node:  je.N,
+			Job:   je.J,
+			Aux:   je.A,
+			Val:   je.V,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// perfetto trace-event constants: per-node activity renders under the
+// "cluster" process (one thread per workstation), cluster-wide blocking
+// episodes under the "scheduler" process.
+const (
+	perfettoClusterPID   = 0
+	perfettoSchedulerPID = 1
+)
+
+// WritePerfetto renders the event stream as Chrome/Perfetto trace-event
+// JSON: reservations become "reserved" duration spans on their
+// workstation's track, blocking episodes become "blocking" spans on the
+// scheduler track, node samples become counter series (idle MB, resident
+// jobs), and every other event an instant on its workstation's track.
+// Events arrive in virtual-time order, so each track's ts sequence is
+// monotonic; spans still open when the trace ends are closed at the last
+// timestamp so begin/end pairs always balance.
+func WritePerfetto(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+
+	// Track metadata. Workstation IDs come from the events themselves.
+	nodes := map[int32]bool{}
+	var last time.Duration
+	for _, ev := range events {
+		if ev.Node >= 0 {
+			nodes[ev.Node] = true
+		}
+		if ev.At > last {
+			last = ev.At
+		}
+	}
+	ids := make([]int, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":"cluster"}}`, perfettoClusterPID))
+	emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":"scheduler"}}`, perfettoSchedulerPID))
+	emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":0,"name":"thread_name","args":{"name":"episodes"}}`, perfettoSchedulerPID))
+	for _, id := range ids {
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"node %d"}}`, perfettoClusterPID, id, id))
+	}
+
+	us := func(d time.Duration) int64 { return d.Nanoseconds() / 1000 }
+	val := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	reservedOpen := map[int32]bool{}
+	episodeOpen := false
+	for _, ev := range events {
+		ts := us(ev.At)
+		switch ev.Kind {
+		case KindNodeSample:
+			emit(fmt.Sprintf(`{"ph":"C","pid":%d,"tid":%d,"ts":%d,"name":"node%d","args":{"idleMB":%s,"jobs":%d}}`,
+				perfettoClusterPID, ev.Node, ts, ev.Node, val(ev.Val), ev.Aux))
+		case KindReserveAcquire:
+			if !reservedOpen[ev.Node] {
+				reservedOpen[ev.Node] = true
+				emit(fmt.Sprintf(`{"ph":"B","pid":%d,"tid":%d,"ts":%d,"name":"reserved","cat":"reservation","args":{"job":%d,"demandMB":%s}}`,
+					perfettoClusterPID, ev.Node, ts, ev.Job, val(ev.Val)))
+			}
+		case KindReserveRelease:
+			if reservedOpen[ev.Node] {
+				delete(reservedOpen, ev.Node)
+				emit(fmt.Sprintf(`{"ph":"E","pid":%d,"tid":%d,"ts":%d}`, perfettoClusterPID, ev.Node, ts))
+			}
+		case KindEpisodeOpen:
+			if !episodeOpen {
+				episodeOpen = true
+				emit(fmt.Sprintf(`{"ph":"B","pid":%d,"tid":0,"ts":%d,"name":"blocking","cat":"episode"}`,
+					perfettoSchedulerPID, ts))
+			}
+		case KindEpisodeClose:
+			if episodeOpen {
+				episodeOpen = false
+				emit(fmt.Sprintf(`{"ph":"E","pid":%d,"tid":0,"ts":%d}`, perfettoSchedulerPID, ts))
+			}
+		default:
+			pid, tid := perfettoClusterPID, ev.Node
+			if ev.Node < 0 {
+				pid, tid = perfettoSchedulerPID, 0
+			}
+			emit(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":%d,"ts":%d,"s":"t","name":"%s","args":{"job":%d,"aux":%d,"val":%s}}`,
+				pid, tid, ts, ev.Kind.String(), ev.Job, ev.Aux, val(ev.Val)))
+		}
+	}
+	// Balance any spans left open at the end of the trace.
+	open := make([]int, 0, len(reservedOpen))
+	for id := range reservedOpen {
+		open = append(open, int(id))
+	}
+	sort.Ints(open)
+	for _, id := range open {
+		emit(fmt.Sprintf(`{"ph":"E","pid":%d,"tid":%d,"ts":%d}`, perfettoClusterPID, id, us(last)))
+	}
+	if episodeOpen {
+		emit(fmt.Sprintf(`{"ph":"E","pid":%d,"tid":0,"ts":%d}`, perfettoSchedulerPID, us(last)))
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteText prints events one per line for terminal consumption.
+func WriteText(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range events {
+		fmt.Fprintf(bw, "%14.6fs  %-18s", ev.At.Seconds(), ev.Kind.String())
+		if ev.Node >= 0 {
+			fmt.Fprintf(bw, " node=%-3d", ev.Node)
+		}
+		if ev.Job >= 0 {
+			fmt.Fprintf(bw, " job=%-4d", ev.Job)
+		}
+		if ev.Aux >= 0 {
+			fmt.Fprintf(bw, " aux=%-4d", ev.Aux)
+		}
+		if ev.Val != 0 {
+			fmt.Fprintf(bw, " val=%s", strconv.FormatFloat(ev.Val, 'g', 6, 64))
+		}
+		if ev.Flags != 0 {
+			fmt.Fprintf(bw, " flags=%#x", ev.Flags)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{At: 0, Kind: KindJobSubmit, Node: 0, Job: 1, Aux: 0},
+		{At: 10 * time.Millisecond, Kind: KindJobAdmit, Node: 0, Job: 1, Aux: -1, Val: 37.25},
+		{At: time.Second, Kind: KindEpisodeOpen, Node: -1, Job: -1, Aux: -1},
+		{At: time.Second, Kind: KindReserveAcquire, Node: 4, Job: 1, Aux: -1, Val: 120},
+		{At: 2 * time.Second, Kind: KindNodeSample, Node: 4, Job: -1, Aux: 2, Val: 64.5, Flags: FlagReserved},
+		{At: 3 * time.Second, Kind: KindMigrationStart, Node: 0, Job: 1, Aux: 4, Val: 120, Flags: FlagSpecial},
+		{At: 4 * time.Second, Kind: KindMigrationComplete, Node: 4, Job: 1, Aux: -1, Val: 1.5, Flags: FlagSpecial},
+		{At: 5 * time.Second, Kind: KindReserveRelease, Node: 4, Job: -1, Aux: -1, Val: 4},
+		{At: 5 * time.Second, Kind: KindEpisodeClose, Node: -1, Job: -1, Aux: -1, Val: 4},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(events, back) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", events, back)
+	}
+}
+
+func TestJSONLIsByteStable(t *testing.T) {
+	events := sampleEvents()
+	var a, b bytes.Buffer
+	if err := WriteJSONL(&a, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same events differ")
+	}
+	// Every line must itself be valid JSON.
+	for _, line := range strings.Split(strings.TrimSpace(a.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+	}
+}
+
+// perfettoEvent mirrors the trace-event fields the validator needs.
+type perfettoEvent struct {
+	Ph   string `json:"ph"`
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+	TS   int64  `json:"ts"`
+	Name string `json:"name"`
+}
+
+func TestPerfettoWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []perfettoEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	lastTS := map[[2]int]int64{}
+	depth := map[[2]int]int{}
+	for _, pe := range doc.TraceEvents {
+		key := [2]int{pe.PID, pe.TID}
+		switch pe.Ph {
+		case "M":
+			continue
+		case "B":
+			depth[key]++
+		case "E":
+			depth[key]--
+			if depth[key] < 0 {
+				t.Fatalf("unbalanced E on track %v", key)
+			}
+		case "i", "C":
+		default:
+			t.Fatalf("unexpected phase %q", pe.Ph)
+		}
+		if prev, ok := lastTS[key]; ok && pe.TS < prev {
+			t.Fatalf("track %v ts went backwards: %d after %d", key, pe.TS, prev)
+		}
+		lastTS[key] = pe.TS
+	}
+	for key, d := range depth {
+		if d != 0 {
+			t.Fatalf("track %v left %d spans open", key, d)
+		}
+	}
+}
+
+func TestPerfettoClosesDanglingSpans(t *testing.T) {
+	events := []Event{
+		{At: time.Second, Kind: KindEpisodeOpen, Node: -1, Job: -1, Aux: -1},
+		{At: 2 * time.Second, Kind: KindReserveAcquire, Node: 1, Job: 5, Aux: -1, Val: 80},
+		{At: 9 * time.Second, Kind: KindJobDone, Node: 1, Job: 5, Aux: -1},
+	}
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []perfettoEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	begins, ends := 0, 0
+	for _, pe := range doc.TraceEvents {
+		switch pe.Ph {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		}
+	}
+	if begins != 2 || ends != 2 {
+		t.Fatalf("begins=%d ends=%d, want balanced 2/2", begins, ends)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if lines := strings.Count(out, "\n"); lines != len(sampleEvents()) {
+		t.Fatalf("got %d lines, want %d:\n%s", lines, len(sampleEvents()), out)
+	}
+	for _, want := range []string{"job-submit", "reserve-acquire", "migration-start", "node=4", "job=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+// Package obs is the simulator's structured tracing layer: every scheduler
+// decision — submissions, placements, migrations, blocking episodes,
+// reservation leases, faults — emits one typed Event into a ring-buffered
+// sink as it happens in virtual time. The layer is deterministic by
+// construction (events are emitted from engine callbacks, which the
+// discrete-event engine orders identically at any parallel fan-out width)
+// and allocation-frugal: events are small value types, the bounded ring
+// never allocates after construction, and with no sink installed every
+// emit site reduces to a nil check on the tracer pointer.
+//
+// The same event stream feeds all consumers: the JSONL exporter for
+// tooling (cmd/vrobs), the Chrome/Perfetto trace-event exporter for
+// per-node timelines, and the human-readable tail printed by
+// vrsim -events.
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind is the event type. The taxonomy covers every decision the cluster,
+// the policies, and the fault injector make; DESIGN.md §8 documents which
+// component emits which kind.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindInvalid Kind = iota
+
+	// Job lifecycle (cluster and node).
+	KindJobSubmit    // job routed through the policy (Aux = restart count)
+	KindJobBlock     // no destination; job joined the pending queue
+	KindJobAdmit     // job started on Node (Val = memory demand MB)
+	KindRemoteSubmit // remote placement chosen; submission cost in flight (Val = seconds)
+	KindJobDone      // job completed on Node
+	KindJobKill      // job lost to a crash under the kill policy
+	KindJobRequeue   // job lost to a crash, resubmitted from home
+
+	// Migration (cluster and node).
+	KindMigrationStart    // preemptive migration begun (Node = source, Aux = destination, Val = image MB)
+	KindMigrationComplete // job landed on Node (Val = total transfer cost seconds)
+	KindMigrationAbort    // transfer died on the wire (Aux = destination, Val = sunk cost seconds)
+	KindMigrationRetry    // aborted attempt retried (Aux = next attempt, Val = backoff seconds)
+	KindMigrationGiveUp   // retry budget exhausted; job stranded (Aux = destination)
+
+	// Shared-link wire transfers (netlink; transfer IDs, not job IDs).
+	KindTransferStart  // payload entered the shared link (Aux = transfer ID, Val = MB)
+	KindTransferEnd    // payload fully crossed (Aux = transfer ID, Val = elapsed seconds)
+	KindTransferCancel // payload aborted mid-wire (Aux = transfer ID, Val = elapsed seconds)
+
+	// Blocking episodes and reservation lifecycle (core.Manager).
+	KindEpisodeOpen    // blocking problem appeared cluster-wide
+	KindEpisodeClose   // blocking problem resolved (Val = episode seconds)
+	KindReserveAcquire // reserving period started on Node (Val = blocked demand MB)
+	KindReservePromote // drain complete; Node entered special service (Aux = victims)
+	KindReserveRelease // reservation dropped on Node (Val = held seconds)
+	KindLeaseExpire    // lease timed out or broke (FlagCrash when crash-broken)
+	KindLeaseReselect  // expired/broken lease re-established on Node (Aux = excluded node)
+
+	// Faults (faults.Injector) and degradation (cluster).
+	KindNodeCrash  // workstation failed
+	KindNodeRepair // workstation repaired
+	KindDegrade    // blocked/stranded job force-admitted to Node past the wait bound
+
+	// Periodic per-node time series (cluster sample ticker).
+	KindNodeSample // Aux = resident jobs, Val = idle MB, Flags = reserved/down
+
+	kindCount // sentinel
+)
+
+var kindNames = [kindCount]string{
+	KindInvalid:           "invalid",
+	KindJobSubmit:         "job-submit",
+	KindJobBlock:          "job-block",
+	KindJobAdmit:          "job-admit",
+	KindRemoteSubmit:      "remote-submit",
+	KindJobDone:           "job-done",
+	KindJobKill:           "job-kill",
+	KindJobRequeue:        "job-requeue",
+	KindMigrationStart:    "migration-start",
+	KindMigrationComplete: "migration-complete",
+	KindMigrationAbort:    "migration-abort",
+	KindMigrationRetry:    "migration-retry",
+	KindMigrationGiveUp:   "migration-giveup",
+	KindTransferStart:     "transfer-start",
+	KindTransferEnd:       "transfer-end",
+	KindTransferCancel:    "transfer-cancel",
+	KindEpisodeOpen:       "episode-open",
+	KindEpisodeClose:      "episode-close",
+	KindReserveAcquire:    "reserve-acquire",
+	KindReservePromote:    "reserve-promote",
+	KindReserveRelease:    "reserve-release",
+	KindLeaseExpire:       "lease-expire",
+	KindLeaseReselect:     "lease-reselect",
+	KindNodeCrash:         "node-crash",
+	KindNodeRepair:        "node-repair",
+	KindDegrade:           "degrade",
+	KindNodeSample:        "node-sample",
+}
+
+// String names the kind for exports and reports.
+func (k Kind) String() string {
+	if k >= kindCount {
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+	return kindNames[k]
+}
+
+// ParseKind inverts String for the JSONL reader.
+func ParseKind(s string) (Kind, error) {
+	for k := Kind(1); k < kindCount; k++ {
+		if kindNames[k] == s {
+			return k, nil
+		}
+	}
+	return KindInvalid, fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// Event flag bits. Their meaning is kind-specific.
+const (
+	// FlagSpecial marks reservation special service on migration events.
+	FlagSpecial uint8 = 1 << iota
+	// FlagReserved marks a sampled node as reserved (KindNodeSample).
+	FlagReserved
+	// FlagDown marks a sampled node as crashed (KindNodeSample).
+	FlagDown
+	// FlagCrash marks a lease expiry/release caused by a workstation crash.
+	FlagCrash
+)
+
+// Event is one scheduler decision at a simulated instant. It is a compact
+// value type so the ring buffer holds events inline with no per-event
+// allocation. Node, Job, and Aux are -1 when not applicable.
+type Event struct {
+	At    time.Duration // simulated time
+	Kind  Kind
+	Flags uint8
+	Node  int32   // primary workstation
+	Job   int32   // job ID
+	Aux   int32   // kind-specific: destination node, attempt, transfer ID, resident jobs
+	Val   float64 // kind-specific: MB, seconds
+}
+
+// Tracer is the event sink handed to the cluster and its components. A nil
+// *Tracer is the disabled tracer: every method is safe to call on it and
+// does nothing, so instrumented hot paths pay only a nil check when no
+// sink is installed.
+type Tracer struct {
+	buf     []Event
+	cap     int // >0 bounds the ring to the last cap events
+	start   int // ring head once the bounded buffer has wrapped
+	dropped uint64
+}
+
+// NewTracer builds a sink. capacity > 0 keeps only the most recent
+// capacity events (counting the rest as dropped) with a single up-front
+// allocation; capacity <= 0 retains every event, growing as needed.
+func NewTracer(capacity int) *Tracer {
+	t := &Tracer{cap: capacity}
+	if capacity > 0 {
+		t.buf = make([]Event, 0, capacity)
+	}
+	return t
+}
+
+// Enabled reports whether a sink is installed. Emit sites that must do
+// preparatory work (building per-node samples, recomputing a predicate)
+// gate on it; plain emissions just call Emit.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit appends one event. On a nil tracer it is a no-op.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	if t.cap > 0 && len(t.buf) == t.cap {
+		t.buf[t.start] = ev
+		t.start++
+		if t.start == t.cap {
+			t.start = 0
+		}
+		t.dropped++
+		return
+	}
+	t.buf = append(t.buf, ev)
+}
+
+// Len reports the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Dropped reports events evicted by a bounded ring.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events returns the retained events in emission order. The slice is a
+// copy; callers may keep it across further emissions.
+func (t *Tracer) Events() []Event {
+	if t == nil || len(t.buf) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.start:]...)
+	out = append(out, t.buf[:t.start]...)
+	return out
+}
+
+// Span is one duration interval reconstructed from paired events: a
+// blocking episode (Node = -1) or a reservation's hold on a workstation.
+type Span struct {
+	Node       int
+	Start, End time.Duration
+	Complete   bool // false when the trace ended with the span still open
+}
+
+// Duration reports the span length (zero while incomplete at Start).
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// Episodes pairs KindEpisodeOpen/KindEpisodeClose events into spans, in
+// open order. A trailing open episode yields an incomplete span ending at
+// the last event's timestamp.
+func Episodes(events []Event) []Span {
+	var out []Span
+	open := -1
+	var last time.Duration
+	for _, ev := range events {
+		if ev.At > last {
+			last = ev.At
+		}
+		switch ev.Kind {
+		case KindEpisodeOpen:
+			if open < 0 {
+				open = len(out)
+				out = append(out, Span{Node: -1, Start: ev.At})
+			}
+		case KindEpisodeClose:
+			if open >= 0 {
+				out[open].End = ev.At
+				out[open].Complete = true
+				open = -1
+			}
+		}
+	}
+	if open >= 0 {
+		out[open].End = last
+	}
+	return out
+}
+
+// ReservationSpans pairs KindReserveAcquire/KindReserveRelease events per
+// workstation into spans, in acquire order.
+func ReservationSpans(events []Event) []Span {
+	var out []Span
+	open := map[int32]int{} // node -> index into out
+	var last time.Duration
+	for _, ev := range events {
+		if ev.At > last {
+			last = ev.At
+		}
+		switch ev.Kind {
+		case KindReserveAcquire:
+			if _, ok := open[ev.Node]; !ok {
+				open[ev.Node] = len(out)
+				out = append(out, Span{Node: int(ev.Node), Start: ev.At})
+			}
+		case KindReserveRelease:
+			if i, ok := open[ev.Node]; ok {
+				out[i].End = ev.At
+				out[i].Complete = true
+				delete(open, ev.Node)
+			}
+		}
+	}
+	for _, i := range sortedSpanIdx(open) {
+		out[i].End = last
+	}
+	return out
+}
+
+// sortedSpanIdx returns open-span indices in ascending order so trailing
+// incomplete spans are finalized deterministically.
+func sortedSpanIdx(open map[int32]int) []int {
+	idx := make([]int, 0, len(open))
+	for _, i := range open {
+		idx = append(idx, i)
+	}
+	for a := 1; a < len(idx); a++ {
+		for b := a; b > 0 && idx[b] < idx[b-1]; b-- {
+			idx[b], idx[b-1] = idx[b-1], idx[b]
+		}
+	}
+	return idx
+}
+
+// Latency is one completed migration: the wall time between the migration
+// starting on From and the job landing on To.
+type Latency struct {
+	Job      int
+	From, To int
+	D        time.Duration
+}
+
+// MigrationLatencies pairs each KindMigrationStart with the job's next
+// KindMigrationComplete, in completion order. Migrations still in flight
+// at the end of the trace are omitted.
+func MigrationLatencies(events []Event) []Latency {
+	type inflight struct {
+		at   time.Duration
+		from int32
+	}
+	open := map[int32]inflight{}
+	var out []Latency
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindMigrationStart:
+			open[ev.Job] = inflight{at: ev.At, from: ev.Node}
+		case KindMigrationComplete:
+			if s, ok := open[ev.Job]; ok {
+				out = append(out, Latency{
+					Job:  int(ev.Job),
+					From: int(s.from),
+					To:   int(ev.Node),
+					D:    ev.At - s.at,
+				})
+				delete(open, ev.Job)
+			}
+		}
+	}
+	return out
+}
+
+// CountByKind tallies events per kind.
+func CountByKind(events []Event) map[Kind]int {
+	out := make(map[Kind]int)
+	for _, ev := range events {
+		out[ev.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func ev(at time.Duration, k Kind, node, jobID int) Event {
+	return Event{At: at, Kind: k, Node: int32(node), Job: int32(jobID), Aux: -1}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Emit(ev(0, KindJobSubmit, 0, 1)) // must not panic
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer holds events")
+	}
+}
+
+func TestUnboundedTracerKeepsEverything(t *testing.T) {
+	tr := NewTracer(0)
+	for i := 0; i < 100; i++ {
+		tr.Emit(ev(time.Duration(i), KindJobSubmit, 0, i))
+	}
+	if tr.Len() != 100 || tr.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d, want 100/0", tr.Len(), tr.Dropped())
+	}
+	got := tr.Events()
+	for i, e := range got {
+		if int(e.Job) != i {
+			t.Fatalf("event %d has job %d", i, e.Job)
+		}
+	}
+}
+
+func TestBoundedRingKeepsTail(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(ev(time.Duration(i), KindJobSubmit, 0, i))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	got := tr.Events()
+	for i, want := range []int{6, 7, 8, 9} {
+		if int(got[i].Job) != want {
+			t.Fatalf("ring order %v, want jobs 6..9", got)
+		}
+	}
+}
+
+func TestKindStringsRoundTrip(t *testing.T) {
+	for k := KindJobSubmit; k < kindCount; k++ {
+		s := k.String()
+		back, err := ParseKind(s)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", s, err)
+		}
+		if back != k {
+			t.Fatalf("ParseKind(%q) = %v, want %v", s, back, k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("ParseKind accepted bogus kind")
+	}
+}
+
+func TestEpisodesPairing(t *testing.T) {
+	events := []Event{
+		ev(1*time.Second, KindEpisodeOpen, -1, -1),
+		ev(2*time.Second, KindJobSubmit, 0, 1),
+		ev(4*time.Second, KindEpisodeClose, -1, -1),
+		ev(6*time.Second, KindEpisodeOpen, -1, -1),
+		ev(7*time.Second, KindJobDone, 0, 1),
+	}
+	spans := Episodes(events)
+	if len(spans) != 2 {
+		t.Fatalf("got %d episodes, want 2", len(spans))
+	}
+	if !spans[0].Complete || spans[0].Start != 1*time.Second || spans[0].End != 4*time.Second {
+		t.Fatalf("first episode = %+v", spans[0])
+	}
+	if spans[1].Complete || spans[1].End != 7*time.Second {
+		t.Fatalf("trailing open episode = %+v", spans[1])
+	}
+}
+
+func TestReservationSpansPerNode(t *testing.T) {
+	events := []Event{
+		ev(1*time.Second, KindReserveAcquire, 3, 9),
+		ev(2*time.Second, KindReserveAcquire, 5, 9),
+		ev(4*time.Second, KindReserveRelease, 3, -1),
+		ev(8*time.Second, KindJobDone, 5, 9),
+	}
+	spans := ReservationSpans(events)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Node != 3 || !spans[0].Complete || spans[0].Duration() != 3*time.Second {
+		t.Fatalf("node 3 span = %+v", spans[0])
+	}
+	if spans[1].Node != 5 || spans[1].Complete || spans[1].End != 8*time.Second {
+		t.Fatalf("node 5 span = %+v", spans[1])
+	}
+}
+
+func TestMigrationLatencies(t *testing.T) {
+	events := []Event{
+		{At: 1 * time.Second, Kind: KindMigrationStart, Node: 2, Job: 7, Aux: 4},
+		{At: 2 * time.Second, Kind: KindMigrationStart, Node: 0, Job: 8, Aux: 4},
+		{At: 5 * time.Second, Kind: KindMigrationComplete, Node: 4, Job: 7, Aux: -1},
+	}
+	lats := MigrationLatencies(events)
+	if len(lats) != 1 {
+		t.Fatalf("got %d latencies, want 1 (job 8 still in flight)", len(lats))
+	}
+	l := lats[0]
+	if l.Job != 7 || l.From != 2 || l.To != 4 || l.D != 4*time.Second {
+		t.Fatalf("latency = %+v", l)
+	}
+}

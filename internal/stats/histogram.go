@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrEdges is returned by NewHistogram for missing or unsorted bucket edges.
+var ErrEdges = errors.New("stats: histogram edges must be finite and strictly ascending")
+
+// Histogram is a fixed-bucket histogram: edges define the upper bounds of
+// the regular buckets (bucket i covers (edges[i-1], edges[i]], bucket 0
+// covers (-inf, edges[0]]) plus one overflow bucket above the last edge.
+// It accumulates in O(log buckets) per observation with no allocation,
+// which is what the trace summarizers need when folding in one value per
+// event.
+type Histogram struct {
+	edges  []float64
+	counts []int
+	n      int
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram builds a histogram over the given ascending bucket edges.
+func NewHistogram(edges []float64) (*Histogram, error) {
+	if len(edges) == 0 {
+		return nil, ErrEdges
+	}
+	for i, e := range edges {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			return nil, ErrEdges
+		}
+		if i > 0 && e <= edges[i-1] {
+			return nil, ErrEdges
+		}
+	}
+	h := &Histogram{
+		edges:  append([]float64(nil), edges...),
+		counts: make([]int, len(edges)+1),
+	}
+	return h, nil
+}
+
+// Add folds one observation in. NaN observations are ignored.
+func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if h.n == 0 {
+		h.min, h.max = x, x
+	} else {
+		if x < h.min {
+			h.min = x
+		}
+		if x > h.max {
+			h.max = x
+		}
+	}
+	h.n++
+	h.sum += x
+	// Binary search for the first edge >= x; beyond the last edge the
+	// observation lands in the overflow bucket.
+	lo, hi := 0, len(h.edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.edges[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo]++
+}
+
+// N reports the number of observations.
+func (h *Histogram) N() int { return h.n }
+
+// Mean reports the exact mean of the observations, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min reports the smallest observation.
+func (h *Histogram) Min() (float64, error) {
+	if h.n == 0 {
+		return 0, ErrEmpty
+	}
+	return h.min, nil
+}
+
+// Max reports the largest observation.
+func (h *Histogram) Max() (float64, error) {
+	if h.n == 0 {
+		return 0, ErrEmpty
+	}
+	return h.max, nil
+}
+
+// Edges returns the bucket upper bounds (a copy).
+func (h *Histogram) Edges() []float64 { return append([]float64(nil), h.edges...) }
+
+// Counts returns per-bucket observation counts (a copy): one entry per
+// edge plus the trailing overflow bucket.
+func (h *Histogram) Counts() []int { return append([]int(nil), h.counts...) }
+
+// Percentile estimates the p-th percentile (0 <= p <= 100) by linear
+// interpolation within the bucket where the rank falls. The estimate is
+// clamped to the exact observed [min, max], so p=0 and p=100 are exact;
+// interior percentiles are accurate to the bucket width. Empty histograms
+// return ErrEmpty; NaN or out-of-range p returns ErrPercentile.
+func (h *Histogram) Percentile(p float64) (float64, error) {
+	if h.n == 0 {
+		return 0, ErrEmpty
+	}
+	if math.IsNaN(p) || p < 0 || p > 100 {
+		return 0, ErrPercentile
+	}
+	rank := p / 100 * float64(h.n)
+	cum := 0
+	for i, cnt := range h.counts {
+		if cnt == 0 {
+			continue
+		}
+		if float64(cum+cnt) < rank {
+			cum += cnt
+			continue
+		}
+		lo := h.min
+		if i > 0 {
+			lo = h.edges[i-1]
+		}
+		hi := h.max
+		if i < len(h.edges) && h.edges[i] < hi {
+			hi = h.edges[i]
+		}
+		if lo < h.min {
+			lo = h.min
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (rank - float64(cum)) / float64(cnt)
+		if frac < 0 {
+			frac = 0
+		}
+		v := lo + frac*(hi-lo)
+		if v < h.min {
+			v = h.min
+		}
+		if v > h.max {
+			v = h.max
+		}
+		return v, nil
+	}
+	return h.max, nil
+}
+
+// Render formats the histogram as aligned text rows ("<= edge | bar count"),
+// scaling bars to width characters. Empty leading and trailing buckets are
+// skipped; an empty histogram renders a single placeholder line.
+func (h *Histogram) Render(width int, format func(edge float64) string) string {
+	if h.n == 0 {
+		return "  (no samples)\n"
+	}
+	if width <= 0 {
+		width = 40
+	}
+	if format == nil {
+		format = func(e float64) string { return fmt.Sprintf("%g", e) }
+	}
+	first, last := -1, -1
+	peak := 0
+	for i, c := range h.counts {
+		if c > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+			if c > peak {
+				peak = c
+			}
+		}
+	}
+	labels := make([]string, 0, last-first+1)
+	for i := first; i <= last; i++ {
+		if i < len(h.edges) {
+			labels = append(labels, "<= "+format(h.edges[i]))
+		} else {
+			labels = append(labels, " > "+format(h.edges[len(h.edges)-1]))
+		}
+	}
+	wlab := 0
+	for _, l := range labels {
+		if len(l) > wlab {
+			wlab = len(l)
+		}
+	}
+	var b strings.Builder
+	for i := first; i <= last; i++ {
+		bar := h.counts[i] * width / peak
+		if h.counts[i] > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "  %-*s | %-*s %d\n", wlab, labels[i-first], width, strings.Repeat("#", bar), h.counts[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewHistogramRejectsBadEdges(t *testing.T) {
+	for _, edges := range [][]float64{
+		nil,
+		{},
+		{1, 1},
+		{2, 1},
+		{math.NaN()},
+		{0, math.Inf(1)},
+	} {
+		if _, err := NewHistogram(edges); err == nil {
+			t.Errorf("NewHistogram(%v): want error", edges)
+		}
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h, err := NewHistogram([]float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{5, 10, 10.1, 25, 31, 100} {
+		h.Add(x)
+	}
+	// (-inf,10]=2, (10,20]=1, (20,30]=1, overflow=2.
+	want := []int{2, 1, 1, 2}
+	got := h.Counts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Counts() = %v, want %v", got, want)
+		}
+	}
+	if h.N() != 6 {
+		t.Fatalf("N() = %d, want 6", h.N())
+	}
+	if got := h.Mean(); math.Abs(got-(5+10+10.1+25+31+100)/6) > 1e-12 {
+		t.Fatalf("Mean() = %v", got)
+	}
+}
+
+func TestHistogramExtremaAndPercentile(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Percentile(50); err != ErrEmpty {
+		t.Fatalf("empty Percentile err = %v, want ErrEmpty", err)
+	}
+	for x := 1; x <= 100; x++ {
+		h.Add(float64(x) / 10) // 0.1 .. 10.0
+	}
+	if mn, _ := h.Min(); mn != 0.1 {
+		t.Fatalf("Min() = %v, want 0.1", mn)
+	}
+	if mx, _ := h.Max(); mx != 10 {
+		t.Fatalf("Max() = %v, want 10", mx)
+	}
+	if p0, _ := h.Percentile(0); p0 != 0.1 {
+		t.Fatalf("P0 = %v, want exact min", p0)
+	}
+	if p100, _ := h.Percentile(100); p100 != 10 {
+		t.Fatalf("P100 = %v, want exact max", p100)
+	}
+	// The true median is ~5; the (4,8] bucket bounds the estimate.
+	p50, err := h.Percentile(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p50 <= 4 || p50 > 8 {
+		t.Fatalf("P50 = %v outside its bucket (4,8]", p50)
+	}
+	if _, err := h.Percentile(101); err != ErrPercentile {
+		t.Fatalf("Percentile(101) err = %v, want ErrPercentile", err)
+	}
+	if _, err := h.Percentile(math.NaN()); err != ErrPercentile {
+		t.Fatalf("Percentile(NaN) err = %v, want ErrPercentile", err)
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 10, 100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 3, 3, 42, 42, 42, 900, 5000} {
+		h.Add(x)
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 5 {
+		v, err := h.Percentile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatalf("Percentile(%v) = %v below Percentile(%v) = %v", p, v, p-5, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Render(10, nil); !strings.Contains(got, "no samples") {
+		t.Fatalf("empty Render = %q", got)
+	}
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	h.Add(9)
+	out := h.Render(10, nil)
+	for _, want := range []string{"<= 1", "<= 2", "> 2", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -5,7 +5,7 @@
 # trajectory is tracked PR over PR.
 #
 # Usage: scripts/bench.sh [-out FILE] [-old FILE] [-pattern REGEX]
-#   -out FILE      snapshot to write (default BENCH_4.json)
+#   -out FILE      snapshot to write (default BENCH_5.json)
 #   -old FILE      previous raw bench text to compare against; the JSON
 #                  then includes per-benchmark speedups
 #   -pattern RE    benchmarks to run (default: all)
@@ -13,7 +13,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_4.json
+OUT=BENCH_5.json
 OLD=
 PATTERN=.
 while [ $# -gt 0 ]; do
@@ -35,9 +35,10 @@ go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" \
     -count "$COUNT" . | tee "$raw"
 
 label=$(git rev-parse --short HEAD 2>/dev/null || echo dev)
+PAIR=BenchmarkClusterRun=BenchmarkClusterRunTraced
 if [ -n "$OLD" ]; then
-    go run ./cmd/benchjson -label "$label" -old "$OLD" <"$raw" >"$OUT"
+    go run ./cmd/benchjson -label "$label" -old "$OLD" -pair "$PAIR" <"$raw" >"$OUT"
 else
-    go run ./cmd/benchjson -label "$label" <"$raw" >"$OUT"
+    go run ./cmd/benchjson -label "$label" -pair "$PAIR" <"$raw" >"$OUT"
 fi
 echo "bench: wrote $OUT"

@@ -37,7 +37,7 @@ go run ./cmd/vrsim -group 2 -level 1 -policy vr -faults \
 if [ "$BENCH" = 1 ]; then
     echo "== bench smoke (single iteration)"
     go test -run '^$' -benchtime=1x \
-        -bench 'BenchmarkClusterRun$|BenchmarkClusterRunBaseline|BenchmarkEngineScheduleRun|BenchmarkEngineScheduleCancel|BenchmarkNodeTick' \
+        -bench 'BenchmarkClusterRun$|BenchmarkClusterRunTraced|BenchmarkClusterRunBaseline|BenchmarkEngineScheduleRun|BenchmarkEngineScheduleCancel|BenchmarkNodeTick' \
         -benchmem .
 fi
 echo "verify: OK"
