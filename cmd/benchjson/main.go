@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -54,6 +55,22 @@ type pair struct {
 	OverheadPct float64 `json:"overhead_pct"`
 }
 
+// scalingPoint is one (cluster size, cost) sample of a benchmark family.
+type scalingPoint struct {
+	Nodes int     `json:"nodes"`
+	NsOp  float64 `json:"ns_op"`
+}
+
+// scalingFit summarizes how one benchmark family's ns/op grows with the
+// "/nodes=N" parameter: the least-squares slope of ln(ns/op) against
+// ln(N). An exponent near 1 is linear cost, near 0 is constant; anything
+// clearly below 1 is sublinear.
+type scalingFit struct {
+	Family   string         `json:"family"`
+	Points   []scalingPoint `json:"points"`
+	Exponent float64        `json:"exponent"`
+}
+
 type snapshot struct {
 	Label       string       `json:"label,omitempty"`
 	Env         []string     `json:"env,omitempty"` // goos/goarch/pkg/cpu header lines
@@ -63,6 +80,7 @@ type snapshot struct {
 	OldRaw      []string     `json:"old_raw,omitempty"`
 	Comparisons []comparison `json:"comparisons,omitempty"`
 	Pairs       []pair       `json:"pairs,omitempty"`
+	Scaling     []scalingFit `json:"scaling,omitempty"`
 }
 
 // parse reads go-test bench output, returning header lines, parsed
@@ -126,6 +144,68 @@ func meanMetric(b bench, unit string) (float64, bool) {
 	return sum / float64(n), true
 }
 
+// fitScaling groups benchmarks by the name prefix before a "/nodes=N"
+// segment and fits each family's mean ns/op against N on log-log axes.
+// Families with fewer than two distinct sizes are skipped (no slope to
+// fit), as are runs without a parseable size or an ns/op metric.
+func fitScaling(benches []bench) []scalingFit {
+	type sample struct {
+		nodes int
+		nsOp  float64
+	}
+	families := map[string][]sample{}
+	var order []string
+	for _, b := range benches {
+		idx := strings.Index(b.Name, "/nodes=")
+		if idx < 0 {
+			continue
+		}
+		rest := b.Name[idx+len("/nodes="):]
+		if cut := strings.IndexByte(rest, '/'); cut >= 0 {
+			rest = rest[:cut]
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil || n <= 0 {
+			continue
+		}
+		ns, ok := meanMetric(b, "ns/op")
+		if !ok || ns <= 0 {
+			continue
+		}
+		family := b.Name[:idx]
+		if _, seen := families[family]; !seen {
+			order = append(order, family)
+		}
+		families[family] = append(families[family], sample{nodes: n, nsOp: ns})
+	}
+	var out []scalingFit
+	for _, family := range order {
+		samples := families[family]
+		if len(samples) < 2 {
+			continue
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i].nodes < samples[j].nodes })
+		var sx, sy, sxx, sxy float64
+		fit := scalingFit{Family: family}
+		for _, s := range samples {
+			x, y := math.Log(float64(s.nodes)), math.Log(s.nsOp)
+			sx += x
+			sy += y
+			sxx += x * x
+			sxy += x * y
+			fit.Points = append(fit.Points, scalingPoint{Nodes: s.nodes, NsOp: s.nsOp})
+		}
+		n := float64(len(samples))
+		denom := n*sxx - sx*sx
+		if denom == 0 {
+			continue // all runs share one size after dedup; no slope
+		}
+		fit.Exponent = (n*sxy - sx*sy) / denom
+		out = append(out, fit)
+	}
+	return out
+}
+
 func main() {
 	oldPath := flag.String("old", "", "previous snapshot's raw bench text to compare against")
 	label := flag.String("label", "", "label for this snapshot (e.g. git revision)")
@@ -139,6 +219,7 @@ func main() {
 		os.Exit(1)
 	}
 	snap := snapshot{Label: *label, Env: env, Benchmarks: benches, Raw: raw, OldLabel: *oldLabel}
+	snap.Scaling = fitScaling(benches)
 
 	if *pairsArg != "" {
 		byName := map[string]bench{}

@@ -8,6 +8,7 @@
 //	vrbench -exp fig1            # Figure 1 only
 //	vrbench -exp ablations -level 3
 //	vrbench -exp faults -level 2 # failure-rate sweep with self-healing
+//	vrbench -exp scale -nodes 10000 -parallel 8 -benchout bench.txt
 package main
 
 import (
@@ -32,11 +33,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("vrbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, analytic, intervals, ablations, seeds, faults")
+		exp      = fs.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, analytic, intervals, ablations, seeds, faults, scale")
 		seed     = fs.Int64("seed", experiments.DefaultSeed, "trace generation seed")
 		quantum  = fs.Duration("quantum", 100*time.Millisecond, "CPU scheduling quantum")
 		level    = fs.Int("level", 3, "trace level for the ablation studies")
 		parallel = fs.Int("parallel", runner.DefaultParallelism(), "worker goroutines for independent runs (1 = sequential)")
+		nodes    = fs.Int("nodes", 10000, "largest cluster size for the scaling sweep (-exp scale)")
+		jobs     = fs.Int("jobs", 0, "submissions at the largest scale point, scaled down proportionally (0 = two per node, cap 1e6)")
+		benchout = fs.String("benchout", "", "also write the scaling sweep as go-test bench lines to this file (-exp scale; for cmd/benchjson)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -130,6 +134,39 @@ func run(args []string) error {
 			return err
 		}
 		return experiments.RenderSeedRows(out, rows)
+	case "scale":
+		fmt.Fprintf(out, "running scaling sweep up to %d nodes...\n\n", *nodes)
+		sweep, err := experiments.RunScale(experiments.ScaleConfig{
+			MaxNodes: *nodes,
+			Jobs:     *jobs,
+			Seed:     *seed,
+			Quantum:  *quantum,
+			Parallel: *parallel,
+		})
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderScale(out, sweep); err != nil {
+			return err
+		}
+		if *benchout != "" {
+			lines, err := experiments.ScaleBenchLines(sweep)
+			if err != nil {
+				return err
+			}
+			f, err := os.Create(*benchout)
+			if err != nil {
+				return err
+			}
+			for _, l := range lines {
+				fmt.Fprintln(f, l)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "bench lines written to %s\n", *benchout)
+		}
+		return nil
 	case "faults":
 		fmt.Fprintf(out, "running fault sweep on trace level %d...\n\n", *level)
 		plan := faults.Plan{Crash: faults.Requeue, DropRate: 0.1, AbortRate: 0.2}

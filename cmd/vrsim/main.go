@@ -58,6 +58,7 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 42, "trace generation seed")
 		quantum    = fs.Duration("quantum", 100*time.Millisecond, "CPU scheduling quantum")
 		inFile     = fs.String("in", "", "load the workload trace from a JSON file instead of generating")
+		workFile   = fs.String("workload", "", "deprecated alias for -in")
 		obsFile    = fs.String("trace", "", "write the structured scheduler event trace to this JSONL file (with -levels: one file per level)")
 		perfFile   = fs.String("perfetto", "", "write a Chrome/Perfetto trace-event timeline to this JSON file (with -levels: one file per level)")
 		eventsN    = fs.Int("events", 0, "print a human-readable tail of the last N scheduler events after a single run")
@@ -84,6 +85,13 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workFile != "" {
+		if *inFile != "" && *inFile != *workFile {
+			return fmt.Errorf("-workload is a deprecated alias for -in; pass only one of them")
+		}
+		fmt.Fprintln(os.Stderr, "vrsim: -workload is deprecated, use -in")
+		*inFile = *workFile
 	}
 
 	sc := simConfig{

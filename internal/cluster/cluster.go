@@ -87,6 +87,14 @@ type Config struct {
 	// require identical results.
 	DenseTicks bool
 
+	// DenseBoard forces the load board's candidate selections onto the
+	// dense O(nodes) scans instead of the partition heaps. Like
+	// DenseTicks, the sharded path is result-preserving by construction
+	// (selection is a pure argmax under a total order); this knob exists
+	// so the sharded-vs-dense equivalence tests can run every trace both
+	// ways and require byte-identical metrics and traces.
+	DenseBoard bool
+
 	// Obs, when non-nil, receives a structured event for every scheduler
 	// decision made during Run (see internal/obs for the taxonomy). Nil
 	// disables tracing; instrumented paths then cost only a nil check.
@@ -189,9 +197,17 @@ type Cluster struct {
 	// active is a bitmask of workstations with resident jobs, maintained
 	// through the nodes' residency watchers; quantumTick visits only set
 	// bits, and an all-zero mask lets the quantum clock fast-forward
-	// across idle stretches.
+	// across idle stretches. activeCount tracks the set bits so the
+	// quiescence check is O(1) rather than a word scan.
 	active        []uint64
+	activeCount   int
 	quantumHandle sim.Handle
+
+	// pressured is the exact set of memory-pressured workstations,
+	// maintained through the nodes' pressure watchers. Control-loop scans
+	// that only care about pressured nodes (victim packing, blocking
+	// detection) iterate this mask instead of every node.
+	pressured []uint64
 
 	injector *faults.Injector // non-nil while a fault plan is active
 	homes    map[int]int      // job ID -> home workstation (crash requeues)
@@ -241,10 +257,13 @@ func New(cfg Config, sched Scheduler) (*Cluster, error) {
 		link.SetTracer(cfg.Obs)
 		c.link = link
 	}
+	board.SetDenseSelect(cfg.DenseBoard)
 	c.active = make([]uint64, (len(nodes)+63)/64)
+	c.pressured = make([]uint64, (len(nodes)+63)/64)
 	for i, n := range nodes {
 		id := i
 		n.SetResidencyWatcher(func(resident int) { c.setActive(id, resident > 0) })
+		n.SetPressureWatcher(func(pressured bool) { c.setPressured(id, pressured) })
 		n.SetTracer(cfg.Obs)
 	}
 	return c, nil
@@ -279,6 +298,7 @@ func (c *Cluster) sampleObs() {
 		return
 	}
 	now := c.engine.Now()
+	c.obs.Reserve(len(c.nodes))
 	for _, n := range c.nodes {
 		var fl uint8
 		if n.Reserved() {
@@ -299,23 +319,47 @@ func (c *Cluster) sampleObs() {
 	}
 }
 
-// setActive flips node id's bit in the active-workstation mask.
+// setActive flips node id's bit in the active-workstation mask, keeping
+// the set-bit count current.
 func (c *Cluster) setActive(id int, on bool) {
-	if on {
-		c.active[id>>6] |= 1 << uint(id&63)
-	} else {
-		c.active[id>>6] &^= 1 << uint(id&63)
+	w, bit := &c.active[id>>6], uint64(1)<<uint(id&63)
+	switch {
+	case on && *w&bit == 0:
+		*w |= bit
+		c.activeCount++
+	case !on && *w&bit != 0:
+		*w &^= bit
+		c.activeCount--
 	}
 }
 
 // anyActive reports whether any workstation holds a resident job.
-func (c *Cluster) anyActive() bool {
-	for _, w := range c.active {
-		if w != 0 {
-			return true
+func (c *Cluster) anyActive() bool { return c.activeCount > 0 }
+
+// setPressured flips node id's bit in the pressured-workstation mask.
+func (c *Cluster) setPressured(id int, on bool) {
+	if on {
+		c.pressured[id>>6] |= 1 << uint(id&63)
+	} else {
+		c.pressured[id>>6] &^= 1 << uint(id&63)
+	}
+}
+
+// ForEachPressured visits every memory-pressured workstation in ascending
+// node-ID order; fn returning false stops the walk. The mask is exact —
+// nodes report every pressure transition synchronously — so callers
+// iterate the pressured set without scanning the whole cluster.
+func (c *Cluster) ForEachPressured(fn func(n *node.Node) bool) {
+	for wi := range c.pressured {
+		w := c.pressured[wi]
+		for w != 0 {
+			id := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if !fn(c.nodes[id]) {
+				return
+			}
 		}
 	}
-	return false
 }
 
 // Engine exposes the discrete-event engine (for policies that schedule

@@ -630,22 +630,27 @@ func (m *Manager) packVictims(c *cluster.Cluster, now time.Duration, n *node.Nod
 }
 
 // clusterVictim picks the eligible job with the largest memory demand
-// among jobs on pressured, unreserved workstations.
+// among jobs on pressured, unreserved workstations. It walks the
+// cluster's exact pressured set instead of every node; the re-checks
+// keep the selection identical to the old dense scan (the mask holds
+// precisely the pressured nodes, reserved or not). Migrations happen
+// between calls, never during one, so the mask is stable for the walk.
 func (m *Manager) clusterVictim(c *cluster.Cluster, now time.Duration) *job.Job {
 	var best *job.Job
 	bestDemand := 0.0
-	for _, n := range c.Nodes() {
+	c.ForEachPressured(func(n *node.Node) bool {
 		if n.Reserved() || !n.Pressured() {
-			continue
+			return true
 		}
 		j := n.MostMemoryIntensiveJob()
 		if j == nil || !m.eligible(c, now, j) {
-			continue
+			return true
 		}
 		if d := j.MemoryDemandMB(); d > bestDemand {
 			best, bestDemand = j, d
 		}
-	}
+		return true
+	})
 	return best
 }
 
@@ -657,19 +662,22 @@ func (m *Manager) blockingExists(c *cluster.Cluster) bool {
 		return true
 	}
 	board := c.Board()
-	for _, n := range c.Nodes() {
+	blocked := false
+	c.ForEachPressured(func(n *node.Node) bool {
 		if n.Reserved() || !n.Pressured() {
-			continue
+			return true
 		}
 		victim := n.MostMemoryIntensiveJob()
 		if victim == nil {
-			continue
-		}
-		if _, ok := board.BestDestination(victim.MemoryDemandMB(), map[int]bool{n.ID(): true}); !ok {
 			return true
 		}
-	}
-	return false
+		if _, ok := board.BestDestination(victim.MemoryDemandMB(), map[int]bool{n.ID(): true}); !ok {
+			blocked = true
+			return false
+		}
+		return true
+	})
+	return blocked
 }
 
 // allDone reports whether every assigned job is terminal. A job killed by

@@ -3,10 +3,27 @@
 // status for every other node, collected and distributed periodically. The
 // Board is a point-in-time snapshot refreshed on that period, so policies
 // act on slightly stale information, exactly as in a real cluster.
+//
+// Internally the board is sharded into fixed-size partitions over
+// struct-of-arrays storage. Each partition maintains its best destination
+// and reservation candidates plus observability aggregates, refreshed
+// incrementally (only partitions whose entries actually changed are
+// recomputed), and two indexed heaps over the partition candidates answer
+// BestDestination and ReservationCandidate in O(log partitions) instead of
+// O(nodes). Selection is a pure argmax under the total order (idle memory
+// desc, jobs asc, index asc), so the heap path returns byte-identical
+// answers to the dense scan — SetDenseSelect(true) forces the dense scan,
+// and the equivalence suite runs every configuration both ways. The dense
+// cluster-wide sums (AccumulatedIdleMB, MeanUserMB) keep their exact
+// historical iteration order — float addition is not associative — and are
+// cached behind a dirty flag so repeated queries between mutations cost
+// O(1).
 package loadinfo
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"time"
 
 	"vrcluster/internal/node"
@@ -33,10 +50,65 @@ type Entry struct {
 // DefaultPeriod is the load collection/distribution interval.
 const DefaultPeriod = time.Second
 
+// PartitionSize is the number of nodes per board partition. 64 keeps a
+// partition's vectors within a few cache lines while bounding the heap to
+// N/64 items (157 partitions at 10k nodes).
+const PartitionSize = 64
+
+// Entry flag bits packed into the board's per-node flags byte.
+const (
+	flagPressured uint8 = 1 << iota
+	flagReserved
+	flagDown
+	flagHasSlot
+)
+
 // Board holds the latest snapshot of every node's status.
 type Board struct {
-	entries []Entry
-	period  time.Duration
+	period time.Duration
+	n      int
+
+	// Struct-of-arrays entry storage: the selection hot path touches only
+	// idleMB, jobs, flags, and nodeID, so those stay dense and separate
+	// from the cold observability fields.
+	nodeID     []int32
+	jobs       []int32
+	slots      []int32
+	flags      []uint8
+	idleMB     []float64
+	userMB     []float64
+	faultRate  []float64
+	ioActive   []int32
+	cacheAvail []float64
+	updatedAt  []time.Duration
+
+	// Per-partition selection candidates (entry index, -1 = none) and
+	// observability aggregates, recomputed only for dirty partitions.
+	destBest         []int32
+	resvBest         []int32
+	idleUpMB         []float64
+	idleUnreservedMB []float64
+	downCount        []int32
+	pressuredCount   []int32
+
+	destHeap pheap
+	resvHeap pheap
+
+	// denseSelect forces the O(n) scans (the equivalence-suite fallback).
+	denseSelect bool
+
+	// Cluster-wide sums cached in the dense scan's exact addition order
+	// (float addition is not associative); sumsDirty marks them stale.
+	sumsDirty         bool
+	sumIdleUp         float64
+	sumIdleUnreserved float64
+	sumUserMB         float64
+
+	dirtyParts []uint64 // scratch bitmask of partitions touched by a refresh
+	popped     []int32  // scratch for partitions popped during one query
+
+	selects int64 // selection queries answered
+	scanned int64 // entries examined answering them
 }
 
 // NewBoard sizes a board for n nodes refreshed every period.
@@ -47,14 +119,61 @@ func NewBoard(n int, period time.Duration) (*Board, error) {
 	if period <= 0 {
 		return nil, fmt.Errorf("loadinfo: period %v must be positive", period)
 	}
-	return &Board{entries: make([]Entry, n), period: period}, nil
+	nparts := (n + PartitionSize - 1) / PartitionSize
+	b := &Board{
+		period:     period,
+		n:          n,
+		nodeID:     make([]int32, n),
+		jobs:       make([]int32, n),
+		slots:      make([]int32, n),
+		flags:      make([]uint8, n),
+		idleMB:     make([]float64, n),
+		userMB:     make([]float64, n),
+		faultRate:  make([]float64, n),
+		ioActive:   make([]int32, n),
+		cacheAvail: make([]float64, n),
+		updatedAt:  make([]time.Duration, n),
+
+		destBest:         make([]int32, nparts),
+		resvBest:         make([]int32, nparts),
+		idleUpMB:         make([]float64, nparts),
+		idleUnreservedMB: make([]float64, nparts),
+		downCount:        make([]int32, nparts),
+		pressuredCount:   make([]int32, nparts),
+
+		sumsDirty:  true,
+		dirtyParts: make([]uint64, (nparts+63)/64),
+	}
+	for p := 0; p < nparts; p++ {
+		b.recomputeAggregates(int32(p))
+	}
+	b.destHeap.init(nparts)
+	b.resvHeap.init(nparts)
+	b.heapify(&b.destHeap, true)
+	b.heapify(&b.resvHeap, false)
+	return b, nil
 }
 
 // Period reports the refresh interval.
 func (b *Board) Period() time.Duration { return b.period }
 
 // Len reports the number of tracked nodes.
-func (b *Board) Len() int { return len(b.entries) }
+func (b *Board) Len() int { return b.n }
+
+// Partitions reports the number of fixed-size shards the board maintains.
+func (b *Board) Partitions() int { return len(b.destBest) }
+
+// SetDenseSelect forces BestDestination and ReservationCandidate onto the
+// dense O(n) scans instead of the partition heaps. The two paths are
+// equivalent by construction (selection is a pure argmax under a total
+// order); this knob exists so the equivalence suite can prove exactly that
+// on every configuration.
+func (b *Board) SetDenseSelect(dense bool) { b.denseSelect = dense }
+
+// SelectStats reports how many selection queries the board has answered
+// and how many entries were examined answering them. The ratio is the
+// empirical per-decision cost the scaling sweep tracks.
+func (b *Board) SelectStats() (selects, scanned int64) { return b.selects, b.scanned }
 
 // Refresh snapshots every node's current status at virtual time now.
 func (b *Board) Refresh(now time.Duration, nodes []*node.Node) error {
@@ -64,47 +183,150 @@ func (b *Board) Refresh(now time.Duration, nodes []*node.Node) error {
 // RefreshWith snapshots node statuses at virtual time now, skipping nodes
 // for which drop returns true: their load-information exchange was lost on
 // the wire, so the board keeps serving the previous (stale) vector — the
-// staleness failure mode a fault plan injects.
+// staleness failure mode a fault plan injects. A node-count mismatch
+// returns an error before any entry is touched; silently mis-indexing a
+// resized cluster would publish one node's load under another's ID.
 func (b *Board) RefreshWith(now time.Duration, nodes []*node.Node, drop func(id int) bool) error {
-	if len(nodes) != len(b.entries) {
-		return fmt.Errorf("loadinfo: %d nodes, board sized for %d", len(nodes), len(b.entries))
+	if len(nodes) != b.n {
+		return fmt.Errorf("loadinfo: %d nodes, board sized for %d", len(nodes), b.n)
 	}
 	for i, n := range nodes {
 		if drop != nil && drop(n.ID()) {
 			continue
 		}
-		b.entries[i] = Entry{
-			NodeID:            n.ID(),
-			Jobs:              n.NumJobs(),
-			Slots:             n.Config().CPUThreshold,
-			IdleMB:            n.IdleMB(),
-			UserMB:            n.Memory().UserMB(),
-			Pressured:         n.Pressured(),
-			Reserved:          n.Reserved(),
-			Down:              n.Down(),
-			HasSlot:           n.HasSlot(),
-			FaultRate:         n.Memory().FaultRate(),
-			IOActiveJobs:      n.IOActiveJobs(),
-			CacheAvailability: n.CacheAvailability(),
-			UpdatedAt:         now,
+		st := n.LoadStatus()
+		fl := packFlags(st)
+		changed := b.jobs[i] != int32(st.Jobs) ||
+			b.flags[i] != fl ||
+			b.idleMB[i] != st.IdleMB ||
+			b.userMB[i] != st.UserMB ||
+			b.slots[i] != int32(st.Slots) ||
+			b.nodeID[i] != int32(st.NodeID)
+		b.nodeID[i] = int32(st.NodeID)
+		b.jobs[i] = int32(st.Jobs)
+		b.slots[i] = int32(st.Slots)
+		b.flags[i] = fl
+		b.idleMB[i] = st.IdleMB
+		b.userMB[i] = st.UserMB
+		b.faultRate[i] = st.FaultRate
+		b.ioActive[i] = int32(st.IOActiveJobs)
+		b.cacheAvail[i] = st.CacheAvailability
+		b.updatedAt[i] = now
+		if changed {
+			p := i / PartitionSize
+			b.dirtyParts[p>>6] |= 1 << uint(p&63)
+			b.sumsDirty = true
 		}
+	}
+	for wi, w := range b.dirtyParts {
+		for w != 0 {
+			p := int32(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+			b.recomputePartition(p)
+		}
+		b.dirtyParts[wi] = 0
 	}
 	return nil
 }
 
+// Publish overwrites the snapshot slot i with e wholesale — the ingestion
+// path for load vectors that arrive individually (a gossiped exchange, a
+// test-constructed board) rather than via a cluster-wide refresh.
+func (b *Board) Publish(i int, e Entry) error {
+	if i < 0 || i >= b.n {
+		return fmt.Errorf("loadinfo: node %d out of range", i)
+	}
+	var fl uint8
+	if e.Pressured {
+		fl |= flagPressured
+	}
+	if e.Reserved {
+		fl |= flagReserved
+	}
+	if e.Down {
+		fl |= flagDown
+	}
+	if e.HasSlot {
+		fl |= flagHasSlot
+	}
+	b.nodeID[i] = int32(e.NodeID)
+	b.jobs[i] = int32(e.Jobs)
+	b.slots[i] = int32(e.Slots)
+	b.flags[i] = fl
+	b.idleMB[i] = e.IdleMB
+	b.userMB[i] = e.UserMB
+	b.faultRate[i] = e.FaultRate
+	b.ioActive[i] = int32(e.IOActiveJobs)
+	b.cacheAvail[i] = e.CacheAvailability
+	b.updatedAt[i] = e.UpdatedAt
+	b.sumsDirty = true
+	b.recomputePartition(int32(i / PartitionSize))
+	return nil
+}
+
+// packFlags folds a node's boolean status into the board's flags byte.
+func packFlags(st node.LoadStatus) uint8 {
+	var fl uint8
+	if st.Pressured {
+		fl |= flagPressured
+	}
+	if st.Reserved {
+		fl |= flagReserved
+	}
+	if st.Down {
+		fl |= flagDown
+	}
+	if st.HasSlot {
+		fl |= flagHasSlot
+	}
+	return fl
+}
+
+// entryAt assembles the Entry snapshot for slot i.
+func (b *Board) entryAt(i int) Entry {
+	fl := b.flags[i]
+	return Entry{
+		NodeID:            int(b.nodeID[i]),
+		Jobs:              int(b.jobs[i]),
+		Slots:             int(b.slots[i]),
+		IdleMB:            b.idleMB[i],
+		UserMB:            b.userMB[i],
+		Pressured:         fl&flagPressured != 0,
+		Reserved:          fl&flagReserved != 0,
+		Down:              fl&flagDown != 0,
+		HasSlot:           fl&flagHasSlot != 0,
+		FaultRate:         b.faultRate[i],
+		IOActiveJobs:      int(b.ioActive[i]),
+		CacheAvailability: b.cacheAvail[i],
+		UpdatedAt:         b.updatedAt[i],
+	}
+}
+
 // Entry returns the snapshot for one node.
 func (b *Board) Entry(id int) (Entry, error) {
-	if id < 0 || id >= len(b.entries) {
+	if id < 0 || id >= b.n {
 		return Entry{}, fmt.Errorf("loadinfo: node %d out of range", id)
 	}
-	return b.entries[id], nil
+	return b.entryAt(id), nil
 }
 
 // Entries returns a copy of all snapshots.
 func (b *Board) Entries() []Entry {
-	out := make([]Entry, len(b.entries))
-	copy(out, b.entries)
+	out := make([]Entry, b.n)
+	for i := range out {
+		out[i] = b.entryAt(i)
+	}
 	return out
+}
+
+// ForEach visits every entry in node-index order without allocating,
+// assembling each snapshot on the stack. Return false to stop early.
+func (b *Board) ForEach(fn func(Entry) bool) {
+	for i := 0; i < b.n; i++ {
+		if !fn(b.entryAt(i)) {
+			return
+		}
+	}
 }
 
 // AccumulatedIdleMB sums idle memory across nodes. When excludeReserved is
@@ -112,28 +334,46 @@ func (b *Board) Entries() []Entry {
 // committed to special service. Crashed workstations never contribute:
 // their memory is unreachable, however idle it looks.
 func (b *Board) AccumulatedIdleMB(excludeReserved bool) float64 {
-	sum := 0.0
-	for _, e := range b.entries {
-		if e.Down || (excludeReserved && e.Reserved) {
-			continue
-		}
-		sum += e.IdleMB
+	if b.sumsDirty {
+		b.recomputeSums()
 	}
-	return sum
+	if excludeReserved {
+		return b.sumIdleUnreserved
+	}
+	return b.sumIdleUp
 }
 
 // MeanUserMB reports the average user memory per workstation — the
 // threshold the paper compares accumulated idle memory against before
 // activating a reconfiguration.
 func (b *Board) MeanUserMB() float64 {
-	if len(b.entries) == 0 {
+	if b.n == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, e := range b.entries {
-		sum += e.UserMB
+	if b.sumsDirty {
+		b.recomputeSums()
 	}
-	return sum / float64(len(b.entries))
+	return b.sumUserMB / float64(b.n)
+}
+
+// recomputeSums rebuilds the cached cluster-wide sums with one dense pass
+// in ascending index order — the same addition order the pre-sharded board
+// used, so the cached values are bit-identical to a direct scan.
+func (b *Board) recomputeSums() {
+	var up, unreserved, user float64
+	for i := 0; i < b.n; i++ {
+		user += b.userMB[i]
+		fl := b.flags[i]
+		if fl&flagDown != 0 {
+			continue
+		}
+		up += b.idleMB[i]
+		if fl&flagReserved == 0 {
+			unreserved += b.idleMB[i]
+		}
+	}
+	b.sumIdleUp, b.sumIdleUnreserved, b.sumUserMB = up, unreserved, user
+	b.sumsDirty = false
 }
 
 // NotePlacement debits the snapshot entry for a node that has just been
@@ -141,17 +381,22 @@ func (b *Board) MeanUserMB() float64 {
 // refresh period do not all pile onto the same workstation. The debit is
 // overwritten by the next Refresh.
 func (b *Board) NotePlacement(id int, demandMB float64) error {
-	if id < 0 || id >= len(b.entries) {
+	if id < 0 || id >= b.n {
 		return fmt.Errorf("loadinfo: node %d out of range", id)
 	}
-	e := &b.entries[id]
-	e.Jobs++
-	e.IdleMB -= demandMB
-	if e.IdleMB < 0 {
-		e.IdleMB = 0
-		e.Pressured = true
+	b.jobs[id]++
+	b.idleMB[id] -= demandMB
+	if b.idleMB[id] < 0 {
+		b.idleMB[id] = 0
+		b.flags[id] |= flagPressured
 	}
-	e.HasSlot = e.Jobs < e.Slots
+	if b.jobs[id] < b.slots[id] {
+		b.flags[id] |= flagHasSlot
+	} else {
+		b.flags[id] &^= flagHasSlot
+	}
+	b.sumsDirty = true
+	b.recomputePartition(int32(id / PartitionSize))
 	return nil
 }
 
@@ -162,24 +407,17 @@ func (b *Board) NotePlacement(id int, demandMB float64) error {
 // false when no node qualifies — the condition under which submissions and
 // migrations block.
 func (b *Board) BestDestination(demandMB float64, exclude map[int]bool) (int, bool) {
-	bestID, found := -1, false
-	var bestIdle float64
-	bestJobs := 0
-	for _, e := range b.entries {
-		if e.Reserved || e.Down || !e.HasSlot || e.Pressured || exclude[e.NodeID] {
-			continue
-		}
-		if e.IdleMB < demandMB {
-			continue
-		}
-		better := !found ||
-			e.IdleMB > bestIdle ||
-			(e.IdleMB == bestIdle && e.Jobs < bestJobs)
-		if better {
-			bestID, bestIdle, bestJobs, found = e.NodeID, e.IdleMB, e.Jobs, true
-		}
+	b.selects++
+	var best int32
+	if b.denseSelect {
+		best = b.scanRange(true, 0, b.n, demandMB, exclude)
+	} else {
+		best = b.heapSelect(&b.destHeap, true, demandMB, exclude)
 	}
-	return bestID, found
+	if best < 0 {
+		return -1, false
+	}
+	return int(b.nodeID[best]), true
 }
 
 // ReservationCandidate picks the workstation to reserve (the paper's "most
@@ -191,19 +429,15 @@ func (b *Board) BestDestination(demandMB float64, exclude map[int]bool) (int, bo
 // capacity while accumulating free space the fastest. Returns false when
 // every node is reserved or excluded.
 func (b *Board) ReservationCandidate(exclude map[int]bool) (int, bool) {
-	bestID, found := -1, false
-	bestJobs := 0
-	var bestIdle float64
-	for _, e := range b.entries {
-		if e.Reserved || e.Down || exclude[e.NodeID] {
-			continue
-		}
-		better := !found ||
-			e.IdleMB > bestIdle ||
-			(e.IdleMB == bestIdle && e.Jobs < bestJobs)
-		if better {
-			bestID, bestJobs, bestIdle, found = e.NodeID, e.Jobs, e.IdleMB, true
-		}
+	b.selects++
+	var best int32
+	if b.denseSelect {
+		best = b.scanRange(false, 0, b.n, math.Inf(-1), exclude)
+	} else {
+		best = b.heapSelect(&b.resvHeap, false, math.Inf(-1), exclude)
 	}
-	return bestID, found
+	if best < 0 {
+		return -1, false
+	}
+	return int(b.nodeID[best]), true
 }

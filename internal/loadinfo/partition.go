@@ -1,0 +1,315 @@
+package loadinfo
+
+import "fmt"
+
+// This file holds the board's sharding machinery: per-partition candidate
+// and aggregate maintenance, the two indexed heaps over partitions, and the
+// heap-guided selection queries.
+//
+// Invariants, restored after every mutation (Refresh, Publish,
+// NotePlacement):
+//
+//  1. destBest[p] is the index of the best statically-eligible destination
+//     in partition p under the selection order (idle desc, jobs asc, index
+//     asc), or -1. "Statically eligible" means unreserved, up, unpressured,
+//     with a free slot — the per-query demand and exclude filters are
+//     applied at query time.
+//  2. resvBest[p] is the same for reservation eligibility (unreserved, up).
+//  3. destHeap/resvHeap order all partitions by their candidates under the
+//     same total order, candidate-less partitions ranking last; pos[] is
+//     the inverse permutation of items[].
+//  4. idleUpMB/idleUnreservedMB/downCount/pressuredCount summarize the
+//     partition for observability (PartitionStats); they never feed
+//     selection or the cached cluster-wide sums.
+//
+// Correctness of heapSelect relies on the selection order being total
+// (entry indices are unique), so the heap top's candidate is the global
+// argmax over statically-eligible entries: any query filter can only
+// remove entries, and the loop handles removed tops by scanning their
+// partition densely and popping — bounded by the exclude-set size, which
+// is at most one everywhere in the simulator.
+
+// PartitionStats summarizes one board shard for observability.
+type PartitionStats struct {
+	Lo, Hi           int // entry index range [Lo, Hi)
+	IdleUpMB         float64
+	IdleUnreservedMB float64
+	Down             int
+	Pressured        int
+	DestCandidate    int // node ID of the best destination candidate, -1 = none
+	ReserveCandidate int // node ID of the best reservation candidate, -1 = none
+}
+
+// PartitionStats reports the aggregates of partition p.
+func (b *Board) PartitionStats(p int) (PartitionStats, error) {
+	if p < 0 || p >= len(b.destBest) {
+		return PartitionStats{}, errPartition(p)
+	}
+	lo := p * PartitionSize
+	hi := min(lo+PartitionSize, b.n)
+	st := PartitionStats{
+		Lo:               lo,
+		Hi:               hi,
+		IdleUpMB:         b.idleUpMB[p],
+		IdleUnreservedMB: b.idleUnreservedMB[p],
+		Down:             int(b.downCount[p]),
+		Pressured:        int(b.pressuredCount[p]),
+		DestCandidate:    -1,
+		ReserveCandidate: -1,
+	}
+	if c := b.destBest[p]; c >= 0 {
+		st.DestCandidate = int(b.nodeID[c])
+	}
+	if c := b.resvBest[p]; c >= 0 {
+		st.ReserveCandidate = int(b.nodeID[c])
+	}
+	return st, nil
+}
+
+// betterEntry reports whether entry i beats entry j under the selection
+// order shared by BestDestination and ReservationCandidate: more idle
+// memory, then fewer jobs, then lower index — the dense scan's first-wins
+// tie-break, making the order total.
+func (b *Board) betterEntry(i, j int32) bool {
+	if b.idleMB[i] != b.idleMB[j] {
+		return b.idleMB[i] > b.idleMB[j]
+	}
+	if b.jobs[i] != b.jobs[j] {
+		return b.jobs[i] < b.jobs[j]
+	}
+	return i < j
+}
+
+// candOf returns partition p's candidate for the selection kind.
+func (b *Board) candOf(dest bool, p int32) int32 {
+	if dest {
+		return b.destBest[p]
+	}
+	return b.resvBest[p]
+}
+
+// betterPart orders partitions by their candidates; candidate-less
+// partitions rank last, ties by partition index for determinism.
+func (b *Board) betterPart(dest bool, p, q int32) bool {
+	cp, cq := b.candOf(dest, p), b.candOf(dest, q)
+	if cp < 0 || cq < 0 {
+		if cp != cq {
+			return cp >= 0
+		}
+		return p < q
+	}
+	return b.betterEntry(cp, cq)
+}
+
+// recomputeAggregates rebuilds partition p's candidates and aggregates
+// from its entries, without touching the heaps.
+func (b *Board) recomputeAggregates(p int32) {
+	lo := int(p) * PartitionSize
+	hi := min(lo+PartitionSize, b.n)
+	dBest, rBest := int32(-1), int32(-1)
+	var up, unreserved float64
+	var down, pressured int32
+	for i := lo; i < hi; i++ {
+		fl := b.flags[i]
+		if fl&flagPressured != 0 {
+			pressured++
+		}
+		if fl&flagDown != 0 {
+			down++
+			continue
+		}
+		up += b.idleMB[i]
+		if fl&flagReserved != 0 {
+			continue
+		}
+		unreserved += b.idleMB[i]
+		if rBest < 0 || b.betterEntry(int32(i), rBest) {
+			rBest = int32(i)
+		}
+		if fl&flagPressured == 0 && fl&flagHasSlot != 0 {
+			if dBest < 0 || b.betterEntry(int32(i), dBest) {
+				dBest = int32(i)
+			}
+		}
+	}
+	b.destBest[p] = dBest
+	b.resvBest[p] = rBest
+	b.idleUpMB[p] = up
+	b.idleUnreservedMB[p] = unreserved
+	b.downCount[p] = down
+	b.pressuredCount[p] = pressured
+}
+
+// recomputePartition rebuilds partition p and restores both heaps. Even
+// when the candidate index is unchanged its key (idle, jobs) may have
+// moved, so the heaps are always re-fixed — O(log partitions) each.
+func (b *Board) recomputePartition(p int32) {
+	b.recomputeAggregates(p)
+	b.heapFix(&b.destHeap, true, p)
+	b.heapFix(&b.resvHeap, false, p)
+}
+
+// scanRange densely scans entries [lo, hi) for the query's best match,
+// applying the full eligibility predicate plus the per-query demand (dest
+// only) and exclude filters. It is both the whole-board fallback
+// (SetDenseSelect) and the per-partition scan heapSelect uses when a
+// partition's candidate is excluded.
+func (b *Board) scanRange(dest bool, lo, hi int, demandMB float64, exclude map[int]bool) int32 {
+	b.scanned += int64(hi - lo)
+	best := int32(-1)
+	for i := lo; i < hi; i++ {
+		fl := b.flags[i]
+		if dest {
+			if fl&(flagReserved|flagDown|flagPressured) != 0 || fl&flagHasSlot == 0 {
+				continue
+			}
+			if b.idleMB[i] < demandMB {
+				continue
+			}
+		} else if fl&(flagReserved|flagDown) != 0 {
+			continue
+		}
+		if len(exclude) > 0 && exclude[int(b.nodeID[i])] {
+			continue
+		}
+		if best < 0 || b.betterEntry(int32(i), best) {
+			best = int32(i)
+		}
+	}
+	return best
+}
+
+// heapSelect answers a selection query from the partition heap. The top
+// partition's candidate is the argmax over all statically-eligible
+// entries; if it passes the query filters it is the answer. A top that
+// fails the demand filter ends the search (every remaining candidate has
+// no more idle memory), and an excluded top falls back to a dense scan of
+// just that partition before moving to the next — partitions popped this
+// way are pushed back before returning, so queries leave the heap intact.
+func (b *Board) heapSelect(h *pheap, dest bool, demandMB float64, exclude map[int]bool) int32 {
+	best := int32(-1)
+	popped := b.popped[:0]
+	for len(h.items) > 0 {
+		p := h.items[0]
+		c := b.candOf(dest, p)
+		b.scanned++
+		if c < 0 || (dest && b.idleMB[c] < demandMB) {
+			break
+		}
+		if len(exclude) == 0 || !exclude[int(b.nodeID[c])] {
+			if best < 0 || b.betterEntry(c, best) {
+				best = c
+			}
+			break
+		}
+		lo := int(p) * PartitionSize
+		hi := min(lo+PartitionSize, b.n)
+		if s := b.scanRange(dest, lo, hi, demandMB, exclude); s >= 0 {
+			if best < 0 || b.betterEntry(s, best) {
+				best = s
+			}
+		}
+		b.heapPop(h, dest)
+		popped = append(popped, p)
+	}
+	for _, p := range popped {
+		b.heapPush(h, dest, p)
+	}
+	b.popped = popped[:0]
+	return best
+}
+
+// pheap is an indexed binary heap of partition indices: pos is the inverse
+// permutation of items, so any partition can be re-sifted in place after
+// its key changes.
+type pheap struct {
+	items []int32
+	pos   []int32
+}
+
+// init fills the heap with partitions 0..n-1 in order (callers heapify).
+func (h *pheap) init(n int) {
+	h.items = make([]int32, n)
+	h.pos = make([]int32, n)
+	for i := range h.items {
+		h.items[i] = int32(i)
+		h.pos[i] = int32(i)
+	}
+}
+
+func (h *pheap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i]] = int32(i)
+	h.pos[h.items[j]] = int32(j)
+}
+
+// heapify establishes the heap order over freshly initialized items.
+func (b *Board) heapify(h *pheap, dest bool) {
+	for i := len(h.items)/2 - 1; i >= 0; i-- {
+		b.siftDown(h, dest, i)
+	}
+}
+
+// siftUp moves items[i] toward the root, returning its final position.
+func (b *Board) siftUp(h *pheap, dest bool, i int) int {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !b.betterPart(dest, h.items[i], h.items[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+	return i
+}
+
+// siftDown moves items[i] toward the leaves.
+func (b *Board) siftDown(h *pheap, dest bool, i int) {
+	n := len(h.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && b.betterPart(dest, h.items[r], h.items[l]) {
+			best = r
+		}
+		if !b.betterPart(dest, h.items[best], h.items[i]) {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+// heapFix restores the heap after partition p's key changed.
+func (b *Board) heapFix(h *pheap, dest bool, p int32) {
+	i := int(h.pos[p])
+	if b.siftUp(h, dest, i) == i {
+		b.siftDown(h, dest, i)
+	}
+}
+
+// heapPop removes the top partition (query-scoped; heapPush restores it).
+func (b *Board) heapPop(h *pheap, dest bool) {
+	last := len(h.items) - 1
+	h.swap(0, last)
+	h.pos[h.items[last]] = -1
+	h.items = h.items[:last]
+	if last > 0 {
+		b.siftDown(h, dest, 0)
+	}
+}
+
+// heapPush re-inserts a partition popped during a query.
+func (b *Board) heapPush(h *pheap, dest bool, p int32) {
+	h.pos[p] = int32(len(h.items))
+	h.items = append(h.items, p)
+	b.siftUp(h, dest, len(h.items)-1)
+}
+
+// errPartition reports an out-of-range partition index.
+func errPartition(p int) error {
+	return fmt.Errorf("loadinfo: partition %d out of range", p)
+}

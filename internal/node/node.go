@@ -125,6 +125,13 @@ type Node struct {
 	// cluster uses it to maintain its active-workstation set.
 	watcher func(resident int)
 
+	// pressure, when set, observes every memory-pressure transition; the
+	// cluster uses it to maintain an exact pressured-workstation index so
+	// control loops need not scan every node. lastPressured is the state
+	// last reported, so only transitions reach the watcher.
+	pressure      func(pressured bool)
+	lastPressured bool
+
 	// tr receives admission, landing, and completion events; nil when
 	// tracing is off.
 	tr *obs.Tracer
@@ -160,6 +167,27 @@ func New(cfg Config) (*Node, error) {
 // after every admission, landing, detach, crash, and completion. A nil fn
 // clears the watcher.
 func (n *Node) SetResidencyWatcher(fn func(resident int)) { n.watcher = fn }
+
+// SetPressureWatcher registers fn to be called whenever the node's memory
+// pressure flips. Pressure changes only when registered demand changes, and
+// every demand mutation funnels through the node's own methods, so the
+// notification sites below keep the watcher's view exact. A nil fn clears
+// the watcher.
+func (n *Node) SetPressureWatcher(fn func(pressured bool)) {
+	n.pressure = fn
+	n.lastPressured = n.mem.Pressured()
+}
+
+// notifyPressure reports a pressure transition to the watcher, if any.
+func (n *Node) notifyPressure() {
+	if n.pressure == nil {
+		return
+	}
+	if p := n.mem.Pressured(); p != n.lastPressured {
+		n.lastPressured = p
+		n.pressure(p)
+	}
+}
 
 // SetTracer installs the structured event sink. A nil tracer disables the
 // node's emissions.
@@ -245,6 +273,7 @@ func (n *Node) ExpectMigration(jobID int, demandMB float64) error {
 		return err
 	}
 	n.incoming[jobID] = demandMB
+	n.notifyPressure()
 	return nil
 }
 
@@ -255,7 +284,9 @@ func (n *Node) CancelExpected(jobID int) error {
 		return fmt.Errorf("node %d: job %d not expected", n.cfg.ID, jobID)
 	}
 	delete(n.incoming, jobID)
-	return n.mem.Remove(jobID)
+	err := n.mem.Remove(jobID)
+	n.notifyPressure()
+	return err
 }
 
 // ExpectedCount reports migrations currently in flight toward this node.
@@ -289,6 +320,7 @@ func (n *Node) SetReserved(v bool) {
 			delete(n.incoming, id)
 			_ = n.mem.Remove(id)
 		}
+		n.notifyPressure()
 	}
 	n.reserved = v
 }
@@ -339,6 +371,7 @@ func (n *Node) Crash(now time.Duration) ([]*job.Job, error) {
 	n.reservedJobs = make(map[int]bool)
 	n.mem.SetRemoteBacking(0)
 	n.notifyResidency()
+	n.notifyPressure()
 	return lost, nil
 }
 
@@ -394,6 +427,44 @@ func (n *Node) CacheAvailability() float64 {
 // in demand-reference seconds.
 func (n *Node) CPUDelivered() time.Duration { return n.cpuDelivered }
 
+// LoadStatus is the workstation's published load vector — the CPU, memory,
+// and I/O status the load-information board collects each period.
+type LoadStatus struct {
+	NodeID    int
+	Jobs      int
+	Slots     int
+	IdleMB    float64
+	UserMB    float64
+	Pressured bool
+	Reserved  bool
+	Down      bool
+	HasSlot   bool
+	FaultRate float64
+	// IOActiveJobs and CacheAvailability are the I/O load status.
+	IOActiveJobs      int
+	CacheAvailability float64
+}
+
+// LoadStatus assembles the node's full published status in one call, so
+// the board's periodic refresh reads each hot field exactly once instead
+// of crossing eleven accessor boundaries per node.
+func (n *Node) LoadStatus() LoadStatus {
+	return LoadStatus{
+		NodeID:            n.cfg.ID,
+		Jobs:              len(n.jobs),
+		Slots:             n.cfg.CPUThreshold,
+		IdleMB:            n.mem.IdleMB(),
+		UserMB:            n.mem.UserMB(),
+		Pressured:         n.mem.Pressured(),
+		Reserved:          n.reserved,
+		Down:              n.down,
+		HasSlot:           n.HasSlot(),
+		FaultRate:         n.mem.FaultRate(),
+		IOActiveJobs:      n.ioActive,
+		CacheAvailability: n.CacheAvailability(),
+	}
+}
+
 // Admit starts a newly submitted job on this node at time now.
 func (n *Node) Admit(j *job.Job, now time.Duration) error {
 	if n.down {
@@ -410,6 +481,7 @@ func (n *Node) Admit(j *job.Job, now time.Duration) error {
 		return err
 	}
 	n.appendResident(j, now, d)
+	n.notifyPressure()
 	if n.tr != nil {
 		n.tr.Emit(obs.Event{At: now, Kind: obs.KindJobAdmit,
 			Node: int32(n.cfg.ID), Job: int32(j.ID), Aux: -1, Val: d})
@@ -441,6 +513,7 @@ func (n *Node) AttachMigrated(j *job.Job, cost time.Duration, special bool, now 
 		return err
 	}
 	n.appendResident(j, now, d)
+	n.notifyPressure()
 	if special {
 		n.reservedJobs[j.ID] = true
 	}
@@ -482,6 +555,7 @@ func (n *Node) Detach(j *job.Job, now time.Duration) error {
 	}
 	n.removeResidentAt(idx)
 	delete(n.reservedJobs, j.ID)
+	n.notifyPressure()
 	return nil
 }
 
@@ -650,5 +724,8 @@ func (n *Node) Tick(dt time.Duration, now time.Duration) ([]*job.Job, error) {
 		n.flatUntil = n.flatUntil[:k]
 		n.notifyResidency()
 	}
+	// Demand refreshes and completions above may have moved pressure in
+	// either direction; one transition check covers the whole tick.
+	n.notifyPressure()
 	return done, nil
 }

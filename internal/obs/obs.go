@@ -186,6 +186,25 @@ func (t *Tracer) Emit(ev Event) {
 	t.buf = append(t.buf, ev)
 }
 
+// Reserve pre-grows an unbounded buffer to hold n more events, so bulk
+// emitters (the per-node sample loop) append without reallocating inside
+// the loop. Growth is geometric — at least doubling — so repeated
+// Reserve/append cycles stay amortized O(1) per event rather than
+// re-copying the whole buffer every sampling tick. Bounded rings never
+// grow; nil tracers and non-positive n are no-ops.
+func (t *Tracer) Reserve(n int) {
+	if t == nil || t.cap > 0 || n <= 0 {
+		return
+	}
+	if cap(t.buf)-len(t.buf) >= n {
+		return
+	}
+	newCap := max(2*cap(t.buf), len(t.buf)+n)
+	grown := make([]Event, len(t.buf), newCap)
+	copy(grown, t.buf)
+	t.buf = grown
+}
+
 // Len reports the number of retained events.
 func (t *Tracer) Len() int {
 	if t == nil {

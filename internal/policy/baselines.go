@@ -5,6 +5,7 @@ import (
 
 	"vrcluster/internal/cluster"
 	"vrcluster/internal/job"
+	"vrcluster/internal/loadinfo"
 	"vrcluster/internal/node"
 )
 
@@ -44,18 +45,20 @@ var _ cluster.Scheduler = (*CPUSharing)(nil)
 // Name implements cluster.Scheduler.
 func (CPUSharing) Name() string { return "CPU-Loadsharing" }
 
-// Place implements cluster.Scheduler.
+// Place implements cluster.Scheduler. It streams over the board in place
+// rather than materializing an Entries copy per placement — the selection
+// (fewest jobs, first wins) is unchanged.
 func (CPUSharing) Place(c *cluster.Cluster, j *job.Job, home int) (int, bool, bool) {
-	board := c.Board()
 	bestID, bestJobs, found := -1, 0, false
-	for _, e := range board.Entries() {
+	c.Board().ForEach(func(e loadinfo.Entry) bool {
 		if e.Reserved || !e.HasSlot {
-			continue
+			return true
 		}
 		if !found || e.Jobs < bestJobs {
 			bestID, bestJobs, found = e.NodeID, e.Jobs, true
 		}
-	}
+		return true
+	})
 	if !found {
 		return -1, false, false
 	}

@@ -122,6 +122,12 @@ func (h *Histogram) Percentile(p float64) (float64, error) {
 	if math.IsNaN(p) || p < 0 || p > 100 {
 		return 0, ErrPercentile
 	}
+	// A single observation is every percentile exactly; skipping the
+	// interpolation also sidesteps its degenerate bucket geometry (the
+	// lone observation pins lo == hi only after two separate clamps).
+	if h.n == 1 {
+		return h.min, nil
+	}
 	rank := p / 100 * float64(h.n)
 	cum := 0
 	for i, cnt := range h.counts {
@@ -150,7 +156,16 @@ func (h *Histogram) Percentile(p float64) (float64, error) {
 		if frac < 0 {
 			frac = 0
 		}
+		if frac > 1 {
+			frac = 1
+		}
 		v := lo + frac*(hi-lo)
+		// Infinite observations make the bucket bounds infinite and the
+		// interpolation indeterminate (∞ − ∞ = NaN); the bucket's lower
+		// bound is the defensible estimate then.
+		if math.IsNaN(v) {
+			v = lo
+		}
 		if v < h.min {
 			v = h.min
 		}

@@ -105,6 +105,74 @@ func TestHistogramPercentileMonotone(t *testing.T) {
 	}
 }
 
+// TestHistogramPercentileDegenerate covers the inputs that used to make
+// the interpolation produce NaN or nonsense: empty histograms, a single
+// observation (any percentile is that observation exactly), and infinite
+// observations whose bucket bounds defeat linear interpolation.
+func TestHistogramPercentileDegenerate(t *testing.T) {
+	edges := []float64{1, 10, 100}
+	for _, tc := range []struct {
+		name string
+		obs  []float64
+		p    float64
+		want float64
+		err  error
+	}{
+		{name: "empty", p: 50, err: ErrEmpty},
+		{name: "empty p0", p: 0, err: ErrEmpty},
+		{name: "single mid-bucket", obs: []float64{42}, p: 50, want: 42},
+		{name: "single p0", obs: []float64{42}, p: 0, want: 42},
+		{name: "single p100", obs: []float64{42}, p: 100, want: 42},
+		{name: "single on edge", obs: []float64{10}, p: 75, want: 10},
+		{name: "single overflow", obs: []float64{5000}, p: 50, want: 5000},
+		{name: "single NaN p", obs: []float64{42}, p: math.NaN(), err: ErrPercentile},
+		{name: "two equal", obs: []float64{7, 7}, p: 50, want: 7},
+		{name: "neg inf low percentile", obs: []float64{math.Inf(-1), 5, 50}, p: 0, want: math.Inf(-1)},
+		{name: "pos inf high percentile", obs: []float64{5, 50, math.Inf(1)}, p: 100, want: math.Inf(1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h, err := NewHistogram(edges)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, x := range tc.obs {
+				h.Add(x)
+			}
+			got, err := h.Percentile(tc.p)
+			if err != tc.err {
+				t.Fatalf("Percentile(%v) err = %v, want %v", tc.p, err, tc.err)
+			}
+			if tc.err != nil {
+				return
+			}
+			if got != tc.want {
+				t.Fatalf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHistogramPercentileNeverNaN sweeps every percentile over histograms
+// seeded with infinities: whatever the estimate, it must not be NaN.
+func TestHistogramPercentileNeverNaN(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{math.Inf(-1), -3, 0.5, 2, math.Inf(1)} {
+		h.Add(x)
+	}
+	for p := 0.0; p <= 100; p++ {
+		v, err := h.Percentile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(v) {
+			t.Fatalf("Percentile(%v) = NaN", p)
+		}
+	}
+}
+
 func TestHistogramRender(t *testing.T) {
 	h, err := NewHistogram([]float64{1, 2})
 	if err != nil {

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Scaling-curve runner: executes the vrbench scaling sweep (-exp scale) up
+# to the requested cluster size, converts the emitted bench lines into a
+# benchstat-comparable JSON snapshot with log-log scaling exponents per
+# benchmark family, and prints the fitted exponents. A ScaleSelect heap
+# exponent near 0 against a dense exponent near 1 is the sublinear
+# per-decision-cost evidence the sharded board exists for.
+#
+# Usage: scripts/scale.sh [-out FILE] [-nodes N] [-jobs N] [-parallel N]
+#   -out FILE      snapshot to write (default BENCH_6.json)
+#   -nodes N       largest cluster size (default 10000)
+#   -jobs N        submissions at the largest point (0 = two per node)
+#   -parallel N    worker goroutines (default 8)
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_6.json
+NODES=10000
+JOBS=0
+PARALLEL=8
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -out) OUT=$2; shift 2 ;;
+    -nodes) NODES=$2; shift 2 ;;
+    -jobs) JOBS=$2; shift 2 ;;
+    -parallel) PARALLEL=$2; shift 2 ;;
+    *) echo "scale.sh: unknown argument $1" >&2; exit 2 ;;
+    esac
+done
+
+raw=$(mktemp "${TMPDIR:-/tmp}/scale.XXXXXX")
+trap 'rm -f "$raw"' EXIT
+
+echo "== vrbench -exp scale -nodes $NODES -jobs $JOBS -parallel $PARALLEL"
+go run ./cmd/vrbench -exp scale -nodes "$NODES" -jobs "$JOBS" \
+    -parallel "$PARALLEL" -benchout "$raw"
+
+label=$(git rev-parse --short HEAD 2>/dev/null || echo dev)
+go run ./cmd/benchjson -label "$label" <"$raw" >"$OUT"
+echo "scale: wrote $OUT"
+grep -A2 '"family"' "$OUT" | grep -E '"family"|"exponent"' || true
