@@ -27,7 +27,7 @@ import (
 // runBoard executes one standard trace level with the board's selection
 // path forced dense or left on the partition heaps, optionally capturing
 // the full event trace.
-func runBoard(t *testing.T, g workload.Group, level int, vr bool, denseBoard bool, plan faults.Plan, traced bool) (*metrics.Result, []obs.Event) {
+func runBoard(t *testing.T, g workload.Group, level int, vr bool, denseBoard bool, plan faults.Plan, traced bool, mutate ...func(*cluster.Config)) (*metrics.Result, []obs.Event) {
 	t.Helper()
 	tr, err := trace.Standard(g, level, 1)
 	if err != nil {
@@ -47,6 +47,9 @@ func runBoard(t *testing.T, g workload.Group, level int, vr bool, denseBoard boo
 	cfg.Quantum = equivQuantum
 	cfg.DenseBoard = denseBoard
 	cfg.Faults = plan
+	for _, m := range mutate {
+		m(&cfg)
+	}
 	var tracer *obs.Tracer
 	if traced {
 		tracer = obs.NewTracer(0)
@@ -109,6 +112,49 @@ func TestShardedVsDenseBoardEquivalenceFaults(t *testing.T) {
 				sharded, _ := runBoard(t, g, 1, vr, false, plan, false)
 				if !reflect.DeepEqual(dense, sharded) {
 					t.Fatalf("dense and sharded board results differ under faults:\ndense:   %+v\nsharded: %+v", dense, sharded)
+				}
+			})
+		}
+	}
+}
+
+// TestShardedVsDenseBoardEquivalenceMembership repeats the check while the
+// fleet itself changes shape mid-run: runtime joins grow the board's
+// partition set incrementally, drains take candidates out of selection and
+// migrate their residents, and removals tombstone board slots. Heap
+// admit/retire must steer placement exactly like the dense rescan, with the
+// invariant auditor watching every control period on both sides.
+func TestShardedVsDenseBoardEquivalenceMembership(t *testing.T) {
+	plan := faults.Plan{
+		MTBF:      20 * time.Minute,
+		Crash:     faults.Requeue,
+		DropRate:  0.05,
+		AbortRate: 0.1,
+	}
+	churn := func(cfg *cluster.Config) {
+		proto := cfg.Nodes[0]
+		n := len(cfg.Nodes)
+		cfg.Audit = true
+		cfg.Membership = []cluster.MembershipEvent{
+			{At: 2 * time.Minute, Kind: cluster.MemberJoin, Node: proto},
+			{At: 4 * time.Minute, Kind: cluster.MemberDrain, ID: n - 1},
+			{At: 6 * time.Minute, Kind: cluster.MemberJoin, Node: proto},
+			{At: 8 * time.Minute, Kind: cluster.MemberDrain, ID: n - 2},
+		}
+	}
+	for _, g := range []workload.Group{workload.Group1, workload.Group2} {
+		for _, vr := range []bool{false, true} {
+			g, vr := g, vr
+			t.Run(fmt.Sprintf("group%d/vr=%v", g, vr), func(t *testing.T) {
+				t.Parallel()
+				dense, _ := runBoard(t, g, 1, vr, true, plan, false, churn)
+				sharded, _ := runBoard(t, g, 1, vr, false, plan, false, churn)
+				if dense.NodesJoined != 2 || dense.NodesDrained != 2 {
+					t.Fatalf("membership script did not run: joined %d drained %d",
+						dense.NodesJoined, dense.NodesDrained)
+				}
+				if !reflect.DeepEqual(dense, sharded) {
+					t.Fatalf("dense and sharded board results differ under membership churn:\ndense:   %+v\nsharded: %+v", dense, sharded)
 				}
 			})
 		}

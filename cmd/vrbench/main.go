@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"vrcluster/internal/experiments"
@@ -33,7 +35,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("vrbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, analytic, intervals, ablations, seeds, faults, scale")
+		exp      = fs.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, analytic, intervals, ablations, seeds, faults, chaos, scale")
 		seed     = fs.Int64("seed", experiments.DefaultSeed, "trace generation seed")
 		quantum  = fs.Duration("quantum", 100*time.Millisecond, "CPU scheduling quantum")
 		level    = fs.Int("level", 3, "trace level for the ablation studies")
@@ -41,8 +43,13 @@ func run(args []string) error {
 		nodes    = fs.Int("nodes", 10000, "largest cluster size for the scaling sweep (-exp scale)")
 		jobs     = fs.Int("jobs", 0, "submissions at the largest scale point, scaled down proportionally (0 = two per node, cap 1e6)")
 		benchout = fs.String("benchout", "", "also write the scaling sweep as go-test bench lines to this file (-exp scale; for cmd/benchjson)")
+		levels   = fs.String("levels", "", "comma-separated trace levels for -exp chaos (default all five)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	chaosLevels, err := parseLevels(*levels)
+	if err != nil {
 		return err
 	}
 	out := os.Stdout
@@ -54,7 +61,6 @@ func run(args []string) error {
 	needGroup2 := *exp == "all" || *exp == "fig3" || *exp == "fig4"
 
 	var g1, g2 *experiments.GroupRuns
-	var err error
 	if needGroup1 {
 		fmt.Fprintln(out, "running workload group 1 (SPEC-Trace-1..5, cluster 1, 32 nodes)...")
 		if g1, err = experiments.Run(cfg(workload.Group1)); err != nil {
@@ -175,9 +181,37 @@ func run(args []string) error {
 			return err
 		}
 		return experiments.RenderFaultRows(out, rows)
+	case "chaos":
+		c := cfg(workload.Group1)
+		if len(chaosLevels) > 0 {
+			c.Levels = chaosLevels
+		}
+		fmt.Fprintf(out, "running chaos grid (levels %v, auditor on)...\n\n", c.Levels)
+		rows, err := experiments.ChaosSweep(c, nil)
+		if err != nil {
+			return err
+		}
+		return experiments.RenderChaos(out, rows)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+}
+
+// parseLevels parses a comma-separated level list ("1,3,5"); empty means
+// the experiment's default.
+func parseLevels(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad -levels entry %q: %w", f, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // reportTiming prints the sweep's wall-clock cost, the summed per-level

@@ -17,6 +17,7 @@
 //	vrsim -in mytrace.json -policy vr-early -json
 //	vrsim -group 1 -levels 1,2,3,4,5 -policy vr -json
 //	vrsim -group 1 -level 2 -faults -mtbf 20m -crash requeue -lease 30s
+//	vrsim -group 1 -level 2 -faults -mtbf 20m -domains 4 -partmtbf 15m -audit -autoscale 40
 //	vrsim -group 1 -level 3 -policy vr -trace out.jsonl -perfetto out.json
 //	vrsim -group 1 -level 3 -policy vr -events 40
 package main
@@ -82,8 +83,20 @@ func run(args []string) error {
 		abortRate  = fs.Float64("abortrate", 0, "per-attempt probability of a migration transfer dying mid-wire")
 		faultSeed  = fs.Int64("faultseed", 0, "fault schedule seed (0 = faults.DefaultSeed)")
 		lease      = fs.Duration("lease", 0, "reservation lease timeout for vr policies (0 = paper's drain bound)")
+		domains    = fs.Int("domains", 0, "correlated failure domains (racks/zones, node ID mod N; 0 = off; with -faults)")
+		domMTBF    = fs.Duration("domainmtbf", 0, "mean time between domain-wide crash waves (with -domains)")
+		domMTTR    = fs.Duration("domainmttr", 0, "mean domain crash-wave repair time (0 = domainmtbf/10)")
+		partMTBF   = fs.Duration("partmtbf", 0, "mean time between domain network partitions (with -domains)")
+		partMTTR   = fs.Duration("partmttr", 0, "mean partition heal time (0 = partmtbf/10)")
+		auditOn    = fs.Bool("audit", false, "run the invariant auditor every control period (fails the run on a violation)")
+		autoscale  = fs.Int("autoscale", 0, "autoscaler fleet cap: join nodes under load, drain idle ones (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFaultFlags(set, *faultsOn, *mtbf, *mttr, *dropRate, *abortRate, *domains); err != nil {
 		return err
 	}
 	if *workFile != "" {
@@ -104,6 +117,8 @@ func run(args []string) error {
 		ageFactor:  *ageFactor,
 		floorFrac:  *floorFrac,
 		lease:      *lease,
+		audit:      *auditOn,
+		autoscale:  *autoscale,
 	}
 	if *faultsOn {
 		crash, err := faults.ParseCrashPolicy(*crashArg)
@@ -111,15 +126,18 @@ func run(args []string) error {
 			return err
 		}
 		sc.faultPlan = faults.Plan{
-			Seed:      *faultSeed,
-			MTBF:      *mtbf,
-			MTTR:      *mttr,
-			Crash:     crash,
-			DropRate:  *dropRate,
-			AbortRate: *abortRate,
+			Seed:          *faultSeed,
+			MTBF:          *mtbf,
+			MTTR:          *mttr,
+			Crash:         crash,
+			DropRate:      *dropRate,
+			AbortRate:     *abortRate,
+			Domains:       *domains,
+			DomainMTBF:    *domMTBF,
+			DomainMTTR:    *domMTTR,
+			PartitionMTBF: *partMTBF,
+			PartitionMTTR: *partMTTR,
 		}
-	} else if *dropRate > 0 || *abortRate > 0 {
-		return fmt.Errorf("-droprate and -abortrate need -faults to take effect")
 	}
 
 	sc.obsCap = -1
@@ -219,6 +237,47 @@ func run(args []string) error {
 	return nil
 }
 
+// validateFaultFlags rejects fault-flag combinations that would silently do
+// nothing or configure a nonsensical plan: any fault-family flag without
+// -faults, non-positive -mtbf, negative -mttr, rates outside [0, 1], and
+// domain timing without -domains. set holds the flags explicitly passed on
+// the command line.
+func validateFaultFlags(set map[string]bool, faultsOn bool, mtbf, mttr time.Duration, dropRate, abortRate float64, domains int) error {
+	faultFamily := []string{"mtbf", "mttr", "crash", "droprate", "abortrate", "faultseed",
+		"domains", "domainmtbf", "domainmttr", "partmtbf", "partmttr"}
+	if !faultsOn {
+		for _, name := range faultFamily {
+			if set[name] {
+				return fmt.Errorf("-%s needs -faults to take effect", name)
+			}
+		}
+		return nil
+	}
+	if mtbf <= 0 {
+		return fmt.Errorf("-mtbf %v must be positive with -faults", mtbf)
+	}
+	if mttr < 0 {
+		return fmt.Errorf("-mttr %v must not be negative", mttr)
+	}
+	if dropRate < 0 || dropRate > 1 {
+		return fmt.Errorf("-droprate %v outside [0, 1]", dropRate)
+	}
+	if abortRate < 0 || abortRate > 1 {
+		return fmt.Errorf("-abortrate %v outside [0, 1]", abortRate)
+	}
+	if domains < 0 {
+		return fmt.Errorf("-domains %d must not be negative", domains)
+	}
+	if domains == 0 {
+		for _, name := range []string{"domainmtbf", "domainmttr", "partmtbf", "partmttr"} {
+			if set[name] {
+				return fmt.Errorf("-%s needs -domains > 0", name)
+			}
+		}
+	}
+	return nil
+}
+
 // exportObs writes the collected event trace to the requested files. A nil
 // tracer with non-empty paths cannot happen: run() sizes the tracer before
 // simulate whenever either path is set.
@@ -274,6 +333,8 @@ type simConfig struct {
 	lease      time.Duration
 	faultPlan  faults.Plan
 	record     bool
+	audit      bool
+	autoscale  int // autoscaler MaxNodes; 0 disables
 	// obsCap sizes the event tracer: -1 disables tracing entirely, 0
 	// keeps every event (for the file exporters), >0 keeps a bounded
 	// tail (for -events).
@@ -302,6 +363,10 @@ func (sc simConfig) simulate(tr *trace.Trace) (*cluster.Cluster, cluster.Schedul
 		cfg.Obs = obs.NewTracer(sc.obsCap)
 	}
 	cfg.Faults = sc.faultPlan
+	cfg.Audit = sc.audit
+	if sc.autoscale > 0 {
+		cfg.Autoscale = cluster.AutoscaleConfig{MaxNodes: sc.autoscale, Proto: cfg.Nodes[0]}
+	}
 	sched, err := buildPolicy(sc.policy, core.Options{
 		MaxReserved:      sc.maxRes,
 		LargeJobFraction: sc.largeFrac,

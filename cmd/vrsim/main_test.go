@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"vrcluster/internal/core"
@@ -82,6 +83,40 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-faults", "-droprate", "1.5"}); err == nil {
 		t.Error("out-of-range drop rate should fail")
+	}
+}
+
+// TestValidateFaultFlagCombos covers the flag cross-validation matrix: every
+// fault-family flag needs -faults, the domain timing knobs need -domains,
+// and rates and durations are range-checked before any simulation starts.
+func TestValidateFaultFlagCombos(t *testing.T) {
+	bad := [][]string{
+		{"-mtbf", "10m"},                                  // fault knob without -faults
+		{"-domains", "4"},                                 // domain knob without -faults
+		{"-faultseed", "9"},                               // seed without -faults
+		{"-faults", "-mtbf", "0s"},                        // non-positive MTBF
+		{"-faults", "-mtbf", "-10m"},                      // negative MTBF
+		{"-faults", "-mttr", "-1s"},                       // negative MTTR
+		{"-faults", "-abortrate", "-0.1"},                 // rate below 0
+		{"-faults", "-abortrate", "1.01"},                 // rate above 1
+		{"-faults", "-domains", "-1"},                     // negative domain count
+		{"-faults", "-domainmtbf", "10m"},                 // domain timing without -domains
+		{"-faults", "-partmtbf", "10m"},                   // partition timing without -domains
+		{"-faults", "-domains", "0", "-domainmttr", "1m"}, // explicit zero domains
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail flag validation", args)
+		}
+	}
+	// The messages must name the offending flag so the error is actionable.
+	err := run([]string{"-partmttr", "1m"})
+	if err == nil || !strings.Contains(err.Error(), "-partmttr") {
+		t.Errorf("error should name the flag, got: %v", err)
+	}
+	err = run([]string{"-faults", "-domainmtbf", "5m"})
+	if err == nil || !strings.Contains(err.Error(), "-domains") {
+		t.Errorf("error should point at -domains, got: %v", err)
 	}
 }
 

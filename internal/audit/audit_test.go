@@ -1,0 +1,132 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vrcluster/internal/obs"
+)
+
+// clean is a consistent two-node snapshot every mutation test starts from.
+func clean() Snapshot {
+	return Snapshot{
+		Now:     time.Minute,
+		Arrived: 6,
+		Done:    2,
+		Killed:  1,
+		Pending: []int{10},
+		Wire:    []int{11},
+		Nodes: []NodeView{
+			{ID: 0, Resident: []int{12}, IdleMB: 40, UserMB: 100, Slots: 4},
+			{ID: 1, IdleMB: 100, UserMB: 100, Slots: 4},
+		},
+	}
+}
+
+func TestCheckCleanSnapshot(t *testing.T) {
+	a := New()
+	if err := a.Check(clean()); err != nil {
+		t.Fatalf("clean snapshot flagged: %v", err)
+	}
+	if a.Checks() != 1 || len(a.Violations()) != 0 {
+		t.Errorf("checks %d violations %d, want 1 and 0", a.Checks(), len(a.Violations()))
+	}
+}
+
+// TestCheckFlagsEachInvariant breaks one invariant per case and expects the
+// auditor to name exactly that invariant.
+func TestCheckFlagsEachInvariant(t *testing.T) {
+	cases := []struct {
+		name      string
+		invariant string
+		mutate    func(*Snapshot)
+	}{
+		{"lost job", "job conservation", func(s *Snapshot) { s.Arrived++ }},
+		{"phantom job", "job conservation", func(s *Snapshot) { s.Arrived-- }},
+		{"duplicated across nodes", "job uniqueness", func(s *Snapshot) {
+			s.Nodes[1].Resident = []int{12}
+		}},
+		{"resident and pending", "job uniqueness", func(s *Snapshot) {
+			s.Pending = append(s.Pending, 12)
+		}},
+		{"wire and stranded", "job uniqueness", func(s *Snapshot) {
+			s.Stranded = append(s.Stranded, 11)
+		}},
+		{"removed node holds job", "removed-node emptiness", func(s *Snapshot) {
+			s.Nodes[0].Removed = true
+		}},
+		{"removed node holds hold", "removed-node emptiness", func(s *Snapshot) {
+			s.Nodes[1].Removed = true
+			s.Nodes[1].Expected = []int{99}
+		}},
+		{"removed node reserved", "lease integrity", func(s *Snapshot) {
+			s.Nodes[1].Removed = true
+			s.Nodes[1].Reserved = true
+		}},
+		{"removed while draining", "membership lifecycle", func(s *Snapshot) {
+			s.Nodes[1].Removed = true
+			s.Nodes[1].Draining = true
+		}},
+		{"down node holds job", "crash emptiness", func(s *Snapshot) {
+			s.Nodes[0].Down = true
+		}},
+		{"negative idle", "memory accounting", func(s *Snapshot) {
+			s.Nodes[0].IdleMB = -1
+		}},
+		{"idle above capacity", "memory accounting", func(s *Snapshot) {
+			s.Nodes[0].IdleMB = s.Nodes[0].UserMB + 1
+		}},
+		{"slot overflow", "slot discipline", func(s *Snapshot) {
+			s.Nodes[0].Expected = []int{20, 21, 22, 23}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := New()
+			s := clean()
+			tc.mutate(&s)
+			err := a.Check(s)
+			if err == nil {
+				t.Fatalf("broken snapshot passed the audit")
+			}
+			v, ok := err.(Violation)
+			if !ok {
+				t.Fatalf("error is not a Violation: %v", err)
+			}
+			if v.Invariant != tc.invariant {
+				t.Errorf("flagged %q, want %q (%v)", v.Invariant, tc.invariant, err)
+			}
+			if v.At != time.Minute || !strings.Contains(err.Error(), "1m") {
+				t.Errorf("violation lost the virtual time: %v", err)
+			}
+			if len(a.Violations()) != 1 {
+				t.Errorf("recorded %d violations, want 1", len(a.Violations()))
+			}
+		})
+	}
+}
+
+func TestCheckTrace(t *testing.T) {
+	removed := map[int]time.Duration{3: 10 * time.Second}
+	events := []obs.Event{
+		{At: 5 * time.Second, Kind: obs.KindJobAdmit, Node: 3},    // before removal
+		{At: 15 * time.Second, Kind: obs.KindJobDone, Node: 2},    // other node
+		{At: 15 * time.Second, Kind: obs.KindJobSubmit, Node: -1}, // cluster-scoped
+		{At: 10 * time.Second, Kind: obs.KindNodeRemove, Node: 3}, // the removal itself
+	}
+	a := New()
+	if err := a.CheckTrace(events, removed); err != nil {
+		t.Fatalf("legal trace flagged: %v", err)
+	}
+	bad := append(events, obs.Event{At: 20 * time.Second, Kind: obs.KindJobAdmit, Node: 3})
+	if err := a.CheckTrace(bad, removed); err == nil {
+		t.Fatal("post-removal event passed the audit")
+	} else if v := err.(Violation); v.Invariant != "no events to removed nodes" {
+		t.Errorf("flagged %q", v.Invariant)
+	}
+	// With no removals the trace scan is a no-op.
+	if err := New().CheckTrace(bad, nil); err != nil {
+		t.Errorf("trace audit without removals flagged: %v", err)
+	}
+}

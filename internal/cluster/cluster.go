@@ -15,6 +15,7 @@ import (
 	"math/bits"
 	"time"
 
+	"vrcluster/internal/audit"
 	"vrcluster/internal/faults"
 	"vrcluster/internal/job"
 	"vrcluster/internal/loadinfo"
@@ -100,6 +101,19 @@ type Config struct {
 	// disables tracing; instrumented paths then cost only a nil check.
 	Obs *obs.Tracer
 
+	// Membership is a script of runtime joins and drains executed at
+	// their virtual times during Run.
+	Membership []MembershipEvent
+
+	// Autoscale enables the utilization-threshold autoscaler (zero
+	// MaxNodes disables it).
+	Autoscale AutoscaleConfig
+
+	// Audit enables the runtime invariant auditor: the cluster state is
+	// checked at every control period and once more at the end of the
+	// run, and the first violation fails the run with its detail.
+	Audit bool
+
 	Seed int64
 }
 
@@ -148,6 +162,17 @@ func (c *Config) Validate() error {
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
+	if err := c.Autoscale.validate(len(c.Nodes)); err != nil {
+		return err
+	}
+	for i, ev := range c.Membership {
+		if ev.At < 0 {
+			return fmt.Errorf("cluster: membership event %d at negative time %v", i, ev.At)
+		}
+		if ev.Kind != MemberJoin && ev.Kind != MemberDrain {
+			return fmt.Errorf("cluster: membership event %d has unknown kind %d", i, ev.Kind)
+		}
+	}
 	return nil
 }
 
@@ -176,6 +201,25 @@ type strandedMigration struct {
 	retransfer bool
 }
 
+// wireTransfer tracks one migration in flight: the pending engine timer
+// (or shared-link transfer) carrying the current leg, and the state needed
+// to abort it mid-wire when the destination's domain partitions. An entry
+// lives from transfer start through retries and backoffs until the job
+// lands or joins the stranded pool, so the registry is also the auditor's
+// "frozen in migration" set.
+type wireTransfer struct {
+	j        *job.Job
+	dstID    int
+	demandMB float64
+	special  bool
+	attempt  int
+	cost     time.Duration // transfer cost accumulated by completed legs
+	legStart time.Duration // when the current wire leg started
+	handle   sim.Handle    // cancellable timer for the current leg
+	linkID   int           // shared-link transfer ID, -1 while off the link
+	waiting  bool          // in retry backoff; nothing on the wire to abort
+}
+
 // Cluster is a runnable simulated cluster.
 type Cluster struct {
 	cfg    Config
@@ -193,6 +237,17 @@ type Cluster struct {
 	timedOut    bool
 	recorder    *record.Recorder
 	ranJobs     []*job.Job
+
+	// Elastic membership and chaos state: in-flight transfers by job ID,
+	// drain start times, removal times, the conservation counters the
+	// auditor reconciles, and the autoscaler's last decision time.
+	wire           map[int]*wireTransfer
+	drainAt        map[int]time.Duration
+	removedAt      map[int]time.Duration
+	arrived        int
+	remoteInFlight int
+	scaledAt       time.Duration
+	auditor        *audit.Auditor
 
 	// active is a bitmask of workstations with resident jobs, maintained
 	// through the nodes' residency watchers; quantumTick visits only set
@@ -240,14 +295,21 @@ func New(cfg Config, sched Scheduler) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		cfg:    cfg,
-		engine: sim.NewEngine(cfg.Seed),
-		nodes:  nodes,
-		board:  board,
-		net:    cfg.Network,
-		sched:  sched,
-		col:    col,
-		obs:    cfg.Obs,
+		cfg:       cfg,
+		engine:    sim.NewEngine(cfg.Seed),
+		nodes:     nodes,
+		board:     board,
+		net:       cfg.Network,
+		sched:     sched,
+		col:       col,
+		obs:       cfg.Obs,
+		wire:      make(map[int]*wireTransfer),
+		drainAt:   make(map[int]time.Duration),
+		removedAt: make(map[int]time.Duration),
+		scaledAt:  -1,
+	}
+	if cfg.Audit {
+		c.auditor = audit.New()
 	}
 	if cfg.SharedNetwork {
 		link, err := netlink.New(c.engine, cfg.Network.BandwidthMbps)
@@ -300,12 +362,18 @@ func (c *Cluster) sampleObs() {
 	now := c.engine.Now()
 	c.obs.Reserve(len(c.nodes))
 	for _, n := range c.nodes {
+		if n.Removed() {
+			continue
+		}
 		var fl uint8
 		if n.Reserved() {
 			fl |= obs.FlagReserved
 		}
 		if n.Down() {
 			fl |= obs.FlagDown
+		}
+		if n.Draining() {
+			fl |= obs.FlagDrain
 		}
 		c.obs.Emit(obs.Event{
 			At:    now,
@@ -383,6 +451,10 @@ func (c *Cluster) Board() *loadinfo.Board { return c.board }
 // Collector exposes the metrics collector (policies bump its counters).
 func (c *Cluster) Collector() *metrics.Collector { return c.col }
 
+// Auditor returns the run's invariant auditor, or nil unless Config.Audit
+// enabled it.
+func (c *Cluster) Auditor() *audit.Auditor { return c.auditor }
+
 // Network reports the interconnect model.
 func (c *Cluster) Network() network.Model { return c.net }
 
@@ -429,10 +501,14 @@ func (c *Cluster) Run(tr *trace.Trace) (*metrics.Result, error) {
 		c.homes[j.ID] = tr.Items[i].Home
 	}
 
-	// Arrivals.
+	// Arrivals. The arrival counter feeds the auditor's job-conservation
+	// equation; requeues after crashes re-enter submit without it.
 	for i, j := range jobs {
 		j, home := j, tr.Items[i].Home
-		if _, err := c.engine.Schedule(j.SubmitAt, func() { c.submit(j, home) }); err != nil {
+		if _, err := c.engine.Schedule(j.SubmitAt, func() {
+			c.arrived++
+			c.submit(j, home)
+		}); err != nil {
 			return nil, err
 		}
 	}
@@ -462,6 +538,11 @@ func (c *Cluster) Run(tr *trace.Trace) (*metrics.Result, error) {
 					fail(err)
 				}
 			},
+			PartitionStart: func(domain int, members []int) {
+				c.col.DomainPartitions++
+				c.abortWireTo(members)
+			},
+			PartitionEnd: func(domain int, members []int) {},
 		})
 		if err != nil {
 			return nil, err
@@ -469,6 +550,18 @@ func (c *Cluster) Run(tr *trace.Trace) (*metrics.Result, error) {
 		inj.SetTracer(c.obs)
 		c.injector = inj
 		inj.Start()
+	}
+
+	// Scheduled membership script: runtime joins and drains.
+	for _, ev := range c.cfg.Membership {
+		ev := ev
+		if _, err := c.engine.Schedule(ev.At, func() {
+			if err := c.applyMembership(ev); err != nil {
+				fail(err)
+			}
+		}); err != nil {
+			return nil, err
+		}
 	}
 	// The quantum clock is self-arming rather than a fixed sim.Ticker:
 	// while any workstation holds a job it re-arms one quantum ahead
@@ -557,11 +650,24 @@ func (c *Cluster) Run(tr *trace.Trace) (*metrics.Result, error) {
 		return nil, fmt.Errorf("cluster: %s/%s timed out at %v with %d jobs outstanding",
 			tr.Name, c.sched.Name(), c.cfg.MaxVirtualTime, c.outstanding)
 	}
+	if c.auditor != nil {
+		if err := c.auditor.Check(c.auditSnapshot()); err != nil {
+			return nil, err
+		}
+		if c.obs != nil {
+			if err := c.auditor.CheckTrace(c.obs.Events(), c.removedAt); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return metrics.BuildResult(tr.Name, c.sched.Name(), jobs, c.col)
 }
 
-// submit routes one arriving (or retried) job through the policy.
+// submit routes one arriving (or retried) job through the policy. A home
+// workstation retired mid-run is remapped to the lowest-ID live member, so
+// trace arrivals keyed to it still have a submitter.
 func (c *Cluster) submit(j *job.Job, home int) {
+	home = c.effectiveHome(home)
 	c.emit(obs.KindJobSubmit, home, j.ID, j.Restarts(), 0, 0)
 	target, remote, ok := c.sched.Place(c, j, home)
 	if !ok {
@@ -589,12 +695,19 @@ func (c *Cluster) place(j *job.Job, home, target int, remote bool) {
 	c.col.RemoteSubmissions++
 	r := c.net.SubmissionCost()
 	c.emit(obs.KindRemoteSubmit, target, j.ID, home, r.Seconds(), 0)
+	c.remoteInFlight++
 	c.engine.After(r, func() {
+		c.remoteInFlight--
 		n := c.nodes[target]
-		if !n.HasSlot() || n.Reserved() {
-			// The slot vanished while the submission was in
-			// flight; requeue.
-			c.emit(obs.KindJobBlock, target, j.ID, -1, 0, 0)
+		if c.unreachable(target) || !n.HasSlot() || n.Reserved() {
+			// The slot vanished while the submission was in flight;
+			// requeue. A target retired mid-flight cannot be addressed
+			// in the trace anymore, so the block is charged to the home.
+			blockAt := target
+			if n.Removed() {
+				blockAt = c.effectiveHome(home)
+			}
+			c.emit(obs.KindJobBlock, blockAt, j.ID, -1, 0, 0)
 			c.pending = append(c.pending, pendingSubmission{j: j, home: home})
 			return
 		}
@@ -663,6 +776,23 @@ func specialFlag(special bool) uint8 {
 // 1-based try number for fault-injected aborts. On a shared network the
 // transfer contends with other in-flight migrations.
 func (c *Cluster) startTransfer(j *job.Job, dstID int, demandMB float64, priorCost time.Duration, special bool, attempt int) {
+	// Register (or refresh) the wire entry first: from here until the job
+	// lands or strands, it lives in the transfer registry — the auditor's
+	// "frozen in migration" pool and the partition-abort index.
+	t := c.wire[j.ID]
+	if t == nil {
+		t = &wireTransfer{}
+		c.wire[j.ID] = t
+	}
+	t.j, t.dstID, t.demandMB, t.special, t.attempt = j, dstID, demandMB, special, attempt
+	t.cost, t.legStart, t.linkID, t.waiting = priorCost, c.engine.Now(), -1, false
+	if c.unreachable(dstID) {
+		// The destination went dark (partitioned domain) or was retired
+		// while this leg was being set up: fail fast instead of shipping
+		// bytes to a workstation that cannot answer.
+		c.migrationAborted(j, dstID, demandMB, priorCost, special, attempt)
+		return
+	}
 	abort := false
 	frac := 0.0
 	if c.injector != nil {
@@ -673,19 +803,19 @@ func (c *Cluster) startTransfer(j *job.Job, dstID int, demandMB float64, priorCo
 		full := c.net.MigrationCost(demandMB)
 		if abort {
 			partial := time.Duration(frac * float64(full))
-			c.engine.After(partial, func() {
+			t.handle = c.engine.After(partial, func() {
 				c.migrationAborted(j, dstID, demandMB, priorCost+partial, special, attempt)
 			})
 			return
 		}
 		cost := priorCost + full
-		c.engine.After(full, func() {
+		t.handle = c.engine.After(full, func() {
 			c.landMigration(j, dstID, cost, special)
 		})
 		return
 	}
 	// Fixed remote-execution setup cost first, then the contended wire.
-	c.engine.After(r, func() {
+	t.handle = c.engine.After(r, func() {
 		id, err := c.link.Start(demandMB, func(elapsed time.Duration) {
 			c.landMigration(j, dstID, priorCost+r+elapsed, special)
 		})
@@ -693,12 +823,14 @@ func (c *Cluster) startTransfer(j *job.Job, dstID int, demandMB float64, priorCo
 			// Unreachable by construction; strand the job so it is
 			// retried rather than lost.
 			c.col.FailedLandings++
+			delete(c.wire, j.ID)
 			c.stranded = append(c.stranded, strandedMigration{
 				j: j, dstID: dstID, cost: priorCost + r, special: special,
 				since: c.engine.Now(), strandedAt: c.engine.Now(), retransfer: true,
 			})
 			return
 		}
+		t.linkID = id
 		if !abort {
 			return
 		}
@@ -726,8 +858,19 @@ func (c *Cluster) startTransfer(j *job.Job, dstID int, demandMB float64, priorCo
 func (c *Cluster) migrationAborted(j *job.Job, dstID int, demandMB float64, cost time.Duration, special bool, attempt int) {
 	c.col.MigrationAborts++
 	c.emit(obs.KindMigrationAbort, -1, j.ID, dstID, cost.Seconds(), specialFlag(special))
-	plan := c.injector.Plan()
+	var plan faults.Plan
+	if c.injector != nil {
+		plan = c.injector.Plan()
+	}
 	if attempt < plan.MaxRetries {
+		if t := c.wire[j.ID]; t != nil {
+			// Nothing is on the wire during the backoff, but the job
+			// stays in the registry: it is still "in migration" for
+			// conservation purposes and must not be double-aborted.
+			t.waiting = true
+			t.cost = cost
+			t.linkID = -1
+		}
 		c.col.MigrationRetries++
 		backoff := plan.Backoff(attempt)
 		c.emit(obs.KindMigrationRetry, -1, j.ID, attempt+1, backoff.Seconds(), specialFlag(special))
@@ -739,6 +882,7 @@ func (c *Cluster) migrationAborted(j *job.Job, dstID int, demandMB float64, cost
 	}
 	c.col.MigrationGiveUps++
 	c.emit(obs.KindMigrationGiveUp, -1, j.ID, dstID, 0, specialFlag(special))
+	delete(c.wire, j.ID)
 	if n, err := c.Node(dstID); err == nil {
 		_ = n.CancelExpected(j.ID)
 	}
@@ -749,6 +893,7 @@ func (c *Cluster) migrationAborted(j *job.Job, dstID int, demandMB float64, cost
 }
 
 func (c *Cluster) landMigration(j *job.Job, dstID int, cost time.Duration, special bool) {
+	delete(c.wire, j.ID)
 	dst := c.nodes[dstID]
 	if err := dst.AttachMigrated(j, cost, special, c.engine.Now()); err == nil {
 		return
@@ -764,6 +909,9 @@ func (c *Cluster) landMigration(j *job.Job, dstID int, cost time.Duration, speci
 // outright or resubmitted from their home workstations, per the fault
 // plan's crash policy.
 func (c *Cluster) crashNode(id int) error {
+	if c.nodes[id].Removed() {
+		return nil
+	}
 	now := c.engine.Now()
 	lost, err := c.nodes[id].Crash(now)
 	if err != nil {
@@ -798,6 +946,9 @@ func (c *Cluster) crashNode(id int) error {
 // recoverNode repairs a crashed workstation; it rejoins the board at the
 // next successful load-information exchange.
 func (c *Cluster) recoverNode(id int) error {
+	if c.nodes[id].Removed() {
+		return nil
+	}
 	if err := c.nodes[id].Recover(); err != nil {
 		return err
 	}
@@ -867,11 +1018,22 @@ func (c *Cluster) controlTick() error {
 		return err
 	}
 	c.sched.OnControl(c, now)
+	if err := c.processDrains(now); err != nil {
+		return err
+	}
+	if err := c.autoscaleTick(now); err != nil {
+		return err
+	}
 	c.retryStranded(now)
 	c.retryPending()
 	c.degradePending(now)
 	if len(c.pending) > c.col.PendingPeak {
 		c.col.PendingPeak = len(c.pending)
+	}
+	if c.auditor != nil {
+		if err := c.auditor.Check(c.auditSnapshot()); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -889,7 +1051,7 @@ func (c *Cluster) retryStranded(now time.Duration) {
 		}
 		// If the image reached the destination, try to land it there.
 		dst := c.nodes[s.dstID]
-		if !s.retransfer && dst.HasSlot() && (s.special || !dst.Reserved()) {
+		if !s.retransfer && dst.HasSlot() && (s.special || !dst.Reserved()) && !c.unreachable(s.dstID) {
 			if err := dst.AttachMigrated(s.j, s.cost, s.special, now); err == nil {
 				continue
 			}
@@ -949,13 +1111,13 @@ func (c *Cluster) degradeLimit() (time.Duration, bool) {
 // deliberately ignored — a degraded job pages locally.
 func (c *Cluster) degradeTarget(prefer int) (int, bool) {
 	if prefer >= 0 && prefer < len(c.nodes) {
-		if p := c.nodes[prefer]; !p.Down() && !p.Reserved() && p.HasSlot() {
+		if p := c.nodes[prefer]; !p.Down() && !p.Reserved() && p.HasSlot() && !c.unreachable(prefer) {
 			return prefer, true
 		}
 	}
 	best, bestJobs, found := -1, 0, false
 	for _, n := range c.nodes {
-		if n.Down() || n.Reserved() || !n.HasSlot() {
+		if n.Down() || n.Reserved() || !n.HasSlot() || c.unreachable(n.ID()) {
 			continue
 		}
 		if !found || n.NumJobs() < bestJobs {

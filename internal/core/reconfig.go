@@ -160,6 +160,7 @@ type Stats struct {
 	LeaseExpired    int // leases released at their timeout
 	LeaseReselected int // expired or broken leases re-established elsewhere
 	CrashBroken     int // reservations broken by workstation crashes
+	DrainBroken     int // reservations broken by workstations leaving the cluster
 }
 
 // Manager is the reconfiguration routine's state: which workstations are
@@ -299,7 +300,7 @@ func (m *Manager) OnBlocked(c *cluster.Cluster, now time.Duration, src *node.Nod
 		return
 	}
 	n, err := c.Node(id)
-	if err != nil || n.Reserved() {
+	if err != nil || n.Reserved() || n.Draining() || n.Removed() {
 		return
 	}
 	n.SetReserved(true)
@@ -359,6 +360,19 @@ func (m *Manager) OnControl(c *cluster.Cluster, now time.Duration) {
 				Node: int32(id), Job: -1, Aux: -1})
 			c.Tracer().Emit(obs.Event{At: now, Kind: obs.KindReserveRelease, Flags: obs.FlagCrash,
 				Node: int32(id), Job: -1, Aux: -1, Val: (now - st.since).Seconds()})
+			delete(m.reserving, id)
+			m.reselect(c, now, id, st.neededMB)
+			continue
+		}
+		if n.Draining() || n.Removed() {
+			// The workstation is leaving the cluster mid-drain. Unlike a
+			// crash the reserved flag is still set, so give it back
+			// properly, then restart the drain on the next candidate.
+			m.stats.DrainBroken++
+			c.Collector().LeaseExpiries++
+			c.Tracer().Emit(obs.Event{At: now, Kind: obs.KindLeaseExpire, Flags: obs.FlagDrain,
+				Node: int32(id), Job: -1, Aux: -1})
+			m.release(c, n, st.since, now)
 			delete(m.reserving, id)
 			m.reselect(c, now, id, st.neededMB)
 			continue
@@ -434,6 +448,18 @@ func (m *Manager) OnControl(c *cluster.Cluster, now time.Duration) {
 			delete(m.reserved, id)
 			continue
 		}
+		if n.Draining() || n.Removed() {
+			// Special service cannot finish on a departing workstation;
+			// its assigned jobs will be migrated out by the drain. Close
+			// the record and give the reservation back.
+			m.stats.DrainBroken++
+			c.Collector().LeaseExpiries++
+			c.Tracer().Emit(obs.Event{At: now, Kind: obs.KindLeaseExpire, Flags: obs.FlagDrain,
+				Node: int32(id), Job: -1, Aux: -1})
+			m.finishReserved(c, n, rs, now)
+			delete(m.reserved, id)
+			continue
+		}
 		if !allDone(rs.assigned) {
 			continue
 		}
@@ -454,7 +480,7 @@ func (m *Manager) reselect(c *cluster.Cluster, now time.Duration, exclude int, n
 		return
 	}
 	n, err := c.Node(id)
-	if err != nil || n.Reserved() || n.Down() {
+	if err != nil || n.Reserved() || n.Down() || n.Draining() || n.Removed() {
 		return
 	}
 	n.SetReserved(true)

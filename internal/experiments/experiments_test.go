@@ -560,3 +560,41 @@ func TestParallelFaultSweepMatchesSequential(t *testing.T) {
 		t.Error("fault sweep differs between sequential and parallel execution")
 	}
 }
+
+// TestParallelChaosSweepMatchesSequential pins the chaos grid — scripted
+// membership churn, correlated domain faults, and the autoscaler all active
+// at once — to the same determinism contract as every other sweep:
+// byte-identical rows at any fan-out width, with the invariant auditor
+// reporting zero violations in every cell.
+func TestParallelChaosSweepMatchesSequential(t *testing.T) {
+	scens := []ChaosScenario{{Name: "churn+domains", Membership: true, Domains: true, Autoscale: true}}
+	seq := RunConfig{Group: workload.Group1, Quantum: 100 * time.Millisecond, Parallel: 1, Levels: []int{1}}
+	par := seq
+	par.Parallel = 8
+	a, err := ChaosSweep(seq, scens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChaosSweep(par, scens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("chaos grid differs between sequential and parallel execution")
+	}
+	for _, r := range a {
+		if r.Audits == 0 {
+			t.Errorf("%s level %d %s: auditor never ran", r.Scenario, r.Level, r.Policy)
+		}
+		if r.Violations != 0 {
+			t.Errorf("%s level %d %s: %d auditor violations", r.Scenario, r.Level, r.Policy, r.Violations)
+		}
+	}
+}
+
+// TestChaosSweepValidation rejects malformed grid configurations.
+func TestChaosSweepValidation(t *testing.T) {
+	if _, err := ChaosSweep(RunConfig{Group: 99}, nil); err == nil {
+		t.Error("bad group should fail")
+	}
+}

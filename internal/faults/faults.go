@@ -8,18 +8,27 @@
 //     vectors for the affected workstations;
 //   - in-flight migration transfers aborted partway through their netlink
 //     transfer, with bounded exponential-backoff retries charged in
-//     simulated time.
+//     simulated time;
+//   - correlated failure domains (racks or zones, node ID modulo Domains):
+//     domain-wide crash waves that take every member down together, and
+//     network partitions that silence a domain's load-information
+//     exchanges while its members keep computing.
 //
 // The Injector draws every fault from its own seeded random streams — one
 // per node for crash timing, one per node for exchange drops, one for
-// migration aborts — so a fault schedule is a pure function of the plan,
-// independent of any other randomness in the simulation and identical at
-// any parallel fan-out width.
+// migration aborts, one per domain for waves and one for partitions — so a
+// fault schedule is a pure function of the plan, independent of any other
+// randomness in the simulation and identical at any parallel fan-out
+// width. Per-node crash chains and domain waves can both claim the same
+// workstation; the injector arbitrates with per-node ownership so a
+// crash/repair pair is always emitted by whichever dimension actually took
+// the node down.
 package faults
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -98,6 +107,19 @@ type Plan struct {
 	// wedging the cluster behind capacity that crashed away. Zero takes
 	// DefaultDegradeAfter; negative disables degradation.
 	DegradeAfter time.Duration
+
+	// Domains groups workstations into correlated failure domains (racks
+	// or zones) by node ID modulo Domains; zero disables both correlated
+	// dimensions. DomainMTBF/DomainMTTR time domain-wide crash waves:
+	// every member fails together and repairs together. PartitionMTBF/
+	// PartitionMTTR time network partitions: the domain's load-information
+	// exchanges are silenced and its in-flight transfers abort, but the
+	// members keep computing their resident jobs.
+	Domains       int
+	DomainMTBF    time.Duration
+	DomainMTTR    time.Duration
+	PartitionMTBF time.Duration
+	PartitionMTTR time.Duration
 }
 
 // Defaults for unset plan fields.
@@ -146,31 +168,81 @@ func (p *Plan) Validate() error {
 	if p.DegradeAfter == 0 {
 		p.DegradeAfter = DefaultDegradeAfter
 	}
+	if p.Domains < 0 {
+		return fmt.Errorf("faults: negative domain count %d", p.Domains)
+	}
+	if p.DomainMTBF < 0 || p.DomainMTTR < 0 {
+		return fmt.Errorf("faults: negative domain MTBF %v / MTTR %v", p.DomainMTBF, p.DomainMTTR)
+	}
+	if p.PartitionMTBF < 0 || p.PartitionMTTR < 0 {
+		return fmt.Errorf("faults: negative partition MTBF %v / MTTR %v", p.PartitionMTBF, p.PartitionMTTR)
+	}
+	if p.Domains == 0 && (p.DomainMTBF > 0 || p.PartitionMTBF > 0) {
+		return errors.New("faults: domain fault timing set but Domains is zero")
+	}
+	if p.DomainMTBF > 0 && p.DomainMTTR == 0 {
+		p.DomainMTTR = p.DomainMTBF / 10
+	}
+	if p.PartitionMTBF > 0 && p.PartitionMTTR == 0 {
+		p.PartitionMTTR = p.PartitionMTBF / 10
+	}
 	return nil
 }
 
 // Active reports whether any fault dimension is enabled.
 func (p Plan) Active() bool {
-	return p.MTBF > 0 || p.DropRate > 0 || p.AbortRate > 0
+	return p.MTBF > 0 || p.DropRate > 0 || p.AbortRate > 0 ||
+		(p.Domains > 0 && (p.DomainMTBF > 0 || p.PartitionMTBF > 0))
 }
 
+// maxBackoffDoublings caps the exponential growth of the retry backoff:
+// past it the delay saturates instead of overflowing time.Duration into a
+// negative (instantly-firing or engine-rejected) timer.
+const maxBackoffDoublings = 32
+
 // Backoff reports the retry delay before the given 1-based attempt:
-// RetryBackoff doubled per prior retry.
+// RetryBackoff doubled per prior retry, saturating once the doubled value
+// would overflow time.Duration.
 func (p Plan) Backoff(attempt int) time.Duration {
 	d := p.RetryBackoff
-	for i := 1; i < attempt; i++ {
+	if d <= 0 {
+		return 0
+	}
+	n := attempt - 1
+	if n > maxBackoffDoublings {
+		n = maxBackoffDoublings
+	}
+	for i := 0; i < n; i++ {
+		if d > math.MaxInt64/2 {
+			return math.MaxInt64
+		}
 		d *= 2
 	}
 	return d
 }
 
-// Hooks are the cluster-side effects of node fault events. The injector
-// decides *when* a workstation fails or recovers; the cluster decides what
-// that does to jobs, reservations, and metrics.
+// Hooks are the cluster-side effects of fault events. The injector decides
+// *when* a workstation fails, recovers, or loses its network; the cluster
+// decides what that does to jobs, reservations, and metrics. The partition
+// hooks receive the domain index and its member node IDs in ascending
+// order.
 type Hooks struct {
-	Crash   func(nodeID int)
-	Recover func(nodeID int)
+	Crash          func(nodeID int)
+	Recover        func(nodeID int)
+	PartitionStart func(domain int, members []int)
+	PartitionEnd   func(domain int, members []int)
 }
+
+// downOwner records which fault dimension took a workstation down, so
+// overlapping per-node chains and domain waves never double-crash or
+// prematurely recover a node.
+type downOwner uint8
+
+const (
+	ownerNone downOwner = iota
+	ownerChain
+	ownerDomain
+)
 
 // Injector schedules a plan's faults on a simulation engine.
 type Injector struct {
@@ -181,6 +253,15 @@ type Injector struct {
 	crashRNG []*rand.Rand // per-node crash/repair timing
 	dropRNG  []*rand.Rand // per-node exchange-drop draws
 	migRNG   *rand.Rand   // migration-abort draws, in transfer-start order
+
+	domainRNG []*rand.Rand // per-domain crash-wave timing
+	partRNG   []*rand.Rand // per-domain partition timing
+
+	downBy      []downOwner // per-node crash ownership
+	retired     []bool      // per-node retirement (removed from membership)
+	partitioned []bool      // per-domain partition state
+
+	started bool
 
 	tr *obs.Tracer // nil when tracing is off
 }
@@ -221,38 +302,130 @@ func NewInjector(engine *sim.Engine, plan Plan, nodes int, hooks Hooks) (*Inject
 		crashRNG: make([]*rand.Rand, nodes),
 		dropRNG:  make([]*rand.Rand, nodes),
 		migRNG:   stream(plan.Seed, 2, 0),
+		downBy:   make([]downOwner, nodes),
+		retired:  make([]bool, nodes),
 	}
 	for i := 0; i < nodes; i++ {
 		in.crashRNG[i] = stream(plan.Seed, 0, i)
 		in.dropRNG[i] = stream(plan.Seed, 1, i)
 	}
+	if plan.Domains > 0 {
+		in.domainRNG = make([]*rand.Rand, plan.Domains)
+		in.partRNG = make([]*rand.Rand, plan.Domains)
+		in.partitioned = make([]bool, plan.Domains)
+		for d := 0; d < plan.Domains; d++ {
+			in.domainRNG[d] = stream(plan.Seed, 3, d)
+			in.partRNG[d] = stream(plan.Seed, 4, d)
+		}
+	}
 	return in, nil
+}
+
+// AddNode extends the injector to a workstation joining at runtime: it
+// gets its own crash and drop streams (derived from its ID, so the
+// schedule is independent of join order) and, when the injector is already
+// armed, its private crash chain starts immediately. The new node falls
+// into domain id % Domains and is swept up by future waves and partitions
+// automatically.
+func (in *Injector) AddNode(id int) error {
+	if id != len(in.crashRNG) {
+		return fmt.Errorf("faults: node %d joined out of order (have %d)", id, len(in.crashRNG))
+	}
+	in.crashRNG = append(in.crashRNG, stream(in.plan.Seed, 0, id))
+	in.dropRNG = append(in.dropRNG, stream(in.plan.Seed, 1, id))
+	in.downBy = append(in.downBy, ownerNone)
+	in.retired = append(in.retired, false)
+	if in.started && in.plan.MTBF > 0 {
+		in.armCrash(id)
+	}
+	return nil
+}
+
+// Domain reports the failure domain of a node, or -1 when domains are off.
+func (in *Injector) Domain(nodeID int) int {
+	if in.plan.Domains <= 0 {
+		return -1
+	}
+	return nodeID % in.plan.Domains
+}
+
+// Partitioned reports whether nodeID's failure domain is currently
+// network-partitioned from the rest of the cluster.
+func (in *Injector) Partitioned(nodeID int) bool {
+	if in.plan.Domains <= 0 || nodeID < 0 {
+		return false
+	}
+	return in.partitioned[nodeID%in.plan.Domains]
+}
+
+// RetireNode marks a workstation as removed from membership: its crash
+// chain stops at the next firing (the pending timer is left to expire — a
+// retired node absorbs it silently) and domain waves and partitions skip it
+// from now on.
+func (in *Injector) RetireNode(id int) {
+	if id >= 0 && id < len(in.retired) {
+		in.retired[id] = true
+	}
+}
+
+// members collects domain d's live (non-retired) node IDs in ascending
+// order.
+func (in *Injector) members(d int) []int {
+	var ids []int
+	for id := d; id < len(in.crashRNG); id += in.plan.Domains {
+		if in.retired[id] {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	return ids
 }
 
 // Plan returns the injector's validated plan.
 func (in *Injector) Plan() Plan { return in.plan }
 
-// Start arms each workstation's crash/repair chain: the first failure is
+// Start arms each workstation's crash/repair chain — the first failure is
 // drawn from the node's private stream, each crash schedules its repair,
-// and each repair schedules the next failure.
+// and each repair schedules the next failure — plus, when domains are
+// configured, each domain's crash-wave and partition chains.
 func (in *Injector) Start() {
-	if in.plan.MTBF <= 0 {
-		return
+	in.started = true
+	if in.plan.MTBF > 0 {
+		for id := range in.crashRNG {
+			in.armCrash(id)
+		}
 	}
-	for id := range in.crashRNG {
-		in.armCrash(id)
+	for d := 0; d < in.plan.Domains; d++ {
+		if in.plan.DomainMTBF > 0 {
+			in.armDomainCrash(d)
+		}
+		if in.plan.PartitionMTBF > 0 {
+			in.armPartition(d)
+		}
 	}
 }
 
 func (in *Injector) armCrash(id int) {
 	d := time.Duration(in.crashRNG[id].ExpFloat64() * float64(in.plan.MTBF))
 	in.engine.After(d, func() {
-		if in.tr != nil {
-			in.tr.Emit(obs.Event{At: in.engine.Now(), Kind: obs.KindNodeCrash,
-				Node: int32(id), Job: -1, Aux: -1})
+		// A retired workstation's chain dies here: the pending timer
+		// fires into a no-op and nothing re-arms.
+		if in.retired[id] {
+			return
 		}
-		if in.hooks.Crash != nil {
-			in.hooks.Crash(id)
+		// A domain wave may already hold this node down; the chain's draw
+		// is consumed regardless so its timing stays a pure function of
+		// the node's stream, but only the dimension that actually crashed
+		// the node emits the event and fires the hook.
+		if in.downBy[id] == ownerNone {
+			in.downBy[id] = ownerChain
+			if in.tr != nil {
+				in.tr.Emit(obs.Event{At: in.engine.Now(), Kind: obs.KindNodeCrash,
+					Node: int32(id), Job: -1, Aux: -1})
+			}
+			if in.hooks.Crash != nil {
+				in.hooks.Crash(id)
+			}
 		}
 		in.armRecover(id)
 	})
@@ -261,22 +434,123 @@ func (in *Injector) armCrash(id int) {
 func (in *Injector) armRecover(id int) {
 	d := time.Duration(in.crashRNG[id].ExpFloat64() * float64(in.plan.MTTR))
 	in.engine.After(d, func() {
-		if in.tr != nil {
-			in.tr.Emit(obs.Event{At: in.engine.Now(), Kind: obs.KindNodeRepair,
-				Node: int32(id), Job: -1, Aux: -1})
+		if in.retired[id] {
+			return
 		}
-		if in.hooks.Recover != nil {
-			in.hooks.Recover(id)
+		if in.downBy[id] == ownerChain {
+			in.downBy[id] = ownerNone
+			if in.tr != nil {
+				in.tr.Emit(obs.Event{At: in.engine.Now(), Kind: obs.KindNodeRepair,
+					Node: int32(id), Job: -1, Aux: -1})
+			}
+			if in.hooks.Recover != nil {
+				in.hooks.Recover(id)
+			}
 		}
 		in.armCrash(id)
 	})
 }
 
+// armDomainCrash schedules domain d's next crash wave: every member not
+// already down crashes together, the wave repairs them together, and the
+// repair arms the next wave.
+func (in *Injector) armDomainCrash(d int) {
+	wait := time.Duration(in.domainRNG[d].ExpFloat64() * float64(in.plan.DomainMTBF))
+	in.engine.After(wait, func() {
+		members := in.members(d)
+		if in.tr != nil {
+			in.tr.Emit(obs.Event{At: in.engine.Now(), Kind: obs.KindDomainOutage,
+				Node: -1, Job: -1, Aux: int32(d), Val: float64(len(members))})
+		}
+		for _, id := range members {
+			if in.downBy[id] != ownerNone {
+				continue
+			}
+			in.downBy[id] = ownerDomain
+			if in.tr != nil {
+				in.tr.Emit(obs.Event{At: in.engine.Now(), Kind: obs.KindNodeCrash,
+					Node: int32(id), Job: -1, Aux: int32(d)})
+			}
+			if in.hooks.Crash != nil {
+				in.hooks.Crash(id)
+			}
+		}
+		in.armDomainRepair(d)
+	})
+}
+
+// armDomainRepair ends a crash wave, recovering exactly the members the
+// wave took down (nodes crashed by their own chains repair on their own
+// schedule).
+func (in *Injector) armDomainRepair(d int) {
+	wait := time.Duration(in.domainRNG[d].ExpFloat64() * float64(in.plan.DomainMTTR))
+	in.engine.After(wait, func() {
+		members := in.members(d)
+		if in.tr != nil {
+			in.tr.Emit(obs.Event{At: in.engine.Now(), Kind: obs.KindDomainRestore,
+				Node: -1, Job: -1, Aux: int32(d), Val: float64(len(members))})
+		}
+		for _, id := range members {
+			if in.downBy[id] != ownerDomain {
+				continue
+			}
+			in.downBy[id] = ownerNone
+			if in.tr != nil {
+				in.tr.Emit(obs.Event{At: in.engine.Now(), Kind: obs.KindNodeRepair,
+					Node: int32(id), Job: -1, Aux: int32(d)})
+			}
+			if in.hooks.Recover != nil {
+				in.hooks.Recover(id)
+			}
+		}
+		in.armDomainCrash(d)
+	})
+}
+
+// armPartition schedules domain d's next network partition: the domain
+// goes dark (refreshes silenced, transfers aborted via the hook) without
+// crashing anyone, heals after the partition MTTR, and re-arms.
+func (in *Injector) armPartition(d int) {
+	wait := time.Duration(in.partRNG[d].ExpFloat64() * float64(in.plan.PartitionMTBF))
+	in.engine.After(wait, func() {
+		members := in.members(d)
+		in.partitioned[d] = true
+		if in.tr != nil {
+			in.tr.Emit(obs.Event{At: in.engine.Now(), Kind: obs.KindDomainOutage,
+				Flags: obs.FlagPartition, Node: -1, Job: -1,
+				Aux: int32(d), Val: float64(len(members))})
+		}
+		if in.hooks.PartitionStart != nil {
+			in.hooks.PartitionStart(d, members)
+		}
+		heal := time.Duration(in.partRNG[d].ExpFloat64() * float64(in.plan.PartitionMTTR))
+		in.engine.After(heal, func() {
+			in.partitioned[d] = false
+			if in.tr != nil {
+				in.tr.Emit(obs.Event{At: in.engine.Now(), Kind: obs.KindDomainRestore,
+					Flags: obs.FlagPartition, Node: -1, Job: -1,
+					Aux: int32(d), Val: float64(len(in.members(d)))})
+			}
+			if in.hooks.PartitionEnd != nil {
+				in.hooks.PartitionEnd(d, in.members(d))
+			}
+			in.armPartition(d)
+		})
+	})
+}
+
 // DropRefresh reports whether this control period's load-information
-// exchange from nodeID is lost. Each node consumes one draw from its
-// private stream per period, keeping the schedule independent of how other
-// nodes fare.
+// exchange from nodeID is lost. A partitioned domain loses every exchange
+// outright (no draw consumed — the wire is gone, not lossy); otherwise
+// each node consumes one draw from its private stream per period, keeping
+// the schedule independent of how other nodes fare.
 func (in *Injector) DropRefresh(nodeID int) bool {
+	if nodeID >= 0 && nodeID < len(in.retired) && in.retired[nodeID] {
+		return false
+	}
+	if in.Partitioned(nodeID) {
+		return true
+	}
 	if in.plan.DropRate <= 0 || nodeID < 0 || nodeID >= len(in.dropRNG) {
 		return false
 	}

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"math"
 	"reflect"
 	"testing"
 	"time"
@@ -63,6 +64,44 @@ func TestBackoffDoubles(t *testing.T) {
 		if got := p.Backoff(i + 1); got != w {
 			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w)
 		}
+	}
+}
+
+func TestBackoffSaturatesInsteadOfOverflowing(t *testing.T) {
+	p := Plan{RetryBackoff: time.Second}
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{1, time.Second},
+		{2, 2 * time.Second},
+		{5, 16 * time.Second},
+		// Past the doubling cap the delay pins instead of overflowing
+		// int64 into a negative timer: attempts 33, 63, and 1000 all get
+		// the same capped delay.
+		{33, time.Duration(1<<32) * time.Second},
+		{63, time.Duration(1<<32) * time.Second},
+		{64, time.Duration(1<<32) * time.Second},
+		{1000, time.Duration(1<<32) * time.Second},
+	}
+	for _, tc := range cases {
+		got := p.Backoff(tc.attempt)
+		if got != tc.want {
+			t.Errorf("Backoff(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+		if got < 0 {
+			t.Errorf("Backoff(%d) = %v went negative", tc.attempt, got)
+		}
+	}
+	// A plan whose base backoff is already huge must saturate immediately.
+	big := Plan{RetryBackoff: math.MaxInt64 / 2}
+	for _, attempt := range []int{2, 3, 100} {
+		if got := big.Backoff(attempt); got < 0 {
+			t.Errorf("huge base: Backoff(%d) = %v went negative", attempt, got)
+		}
+	}
+	if (Plan{}).Backoff(50) != 0 {
+		t.Error("zero base backoff should stay zero")
 	}
 }
 

@@ -39,6 +39,8 @@ type Entry struct {
 	Pressured bool
 	Reserved  bool
 	Down      bool
+	Draining  bool
+	Removed   bool
 	HasSlot   bool
 	FaultRate float64
 	// IOActiveJobs and CacheAvailability are the node's I/O load status.
@@ -61,12 +63,19 @@ const (
 	flagReserved
 	flagDown
 	flagHasSlot
+	flagDraining
+	flagRemoved
 )
+
+// flagIneligible masks out every state that disqualifies a node from both
+// selection kinds: reserved, crashed, draining toward removal, or retired.
+const flagIneligible = flagReserved | flagDown | flagDraining | flagRemoved
 
 // Board holds the latest snapshot of every node's status.
 type Board struct {
 	period time.Duration
 	n      int
+	live   int // tracked nodes not yet retired (MeanUserMB divisor)
 
 	// Struct-of-arrays entry storage: the selection hot path touches only
 	// idleMB, jobs, flags, and nodeID, so those stay dense and separate
@@ -123,6 +132,7 @@ func NewBoard(n int, period time.Duration) (*Board, error) {
 	b := &Board{
 		period:     period,
 		n:          n,
+		live:       n,
 		nodeID:     make([]int32, n),
 		jobs:       make([]int32, n),
 		slots:      make([]int32, n),
@@ -249,6 +259,12 @@ func (b *Board) Publish(i int, e Entry) error {
 	if e.HasSlot {
 		fl |= flagHasSlot
 	}
+	if e.Draining {
+		fl |= flagDraining
+	}
+	if e.Removed {
+		fl |= flagRemoved
+	}
 	b.nodeID[i] = int32(e.NodeID)
 	b.jobs[i] = int32(e.Jobs)
 	b.slots[i] = int32(e.Slots)
@@ -261,6 +277,62 @@ func (b *Board) Publish(i int, e Entry) error {
 	b.updatedAt[i] = e.UpdatedAt
 	b.sumsDirty = true
 	b.recomputePartition(int32(i / PartitionSize))
+	return nil
+}
+
+// AddNode grows the board by one slot at the next index, publishing e as
+// its initial status, and returns the new entry index. The struct-of-arrays
+// storage extends in place; when the new slot starts a fresh partition, the
+// partition is admitted into both selection heaps incrementally, so a
+// runtime join costs O(partition + log partitions) rather than a rebuild.
+func (b *Board) AddNode(e Entry) (int, error) {
+	i := b.n
+	b.n++
+	b.live++
+	b.nodeID = append(b.nodeID, int32(i))
+	b.jobs = append(b.jobs, 0)
+	b.slots = append(b.slots, 0)
+	b.flags = append(b.flags, flagRemoved) // inert until Publish below
+	b.idleMB = append(b.idleMB, 0)
+	b.userMB = append(b.userMB, 0)
+	b.faultRate = append(b.faultRate, 0)
+	b.ioActive = append(b.ioActive, 0)
+	b.cacheAvail = append(b.cacheAvail, 0)
+	b.updatedAt = append(b.updatedAt, 0)
+	if p := i / PartitionSize; p == len(b.destBest) {
+		b.destBest = append(b.destBest, -1)
+		b.resvBest = append(b.resvBest, -1)
+		b.idleUpMB = append(b.idleUpMB, 0)
+		b.idleUnreservedMB = append(b.idleUnreservedMB, 0)
+		b.downCount = append(b.downCount, 0)
+		b.pressuredCount = append(b.pressuredCount, 0)
+		if p>>6 >= len(b.dirtyParts) {
+			b.dirtyParts = append(b.dirtyParts, 0)
+		}
+		b.admitPartition(&b.destHeap, true, int32(p))
+		b.admitPartition(&b.resvHeap, false, int32(p))
+	}
+	if err := b.Publish(i, e); err != nil {
+		return -1, err
+	}
+	return i, nil
+}
+
+// Retire marks slot id's workstation as permanently removed: it never again
+// qualifies for selection, contributes to no sums, and its board entry is a
+// tombstone so every other node keeps its stable index.
+func (b *Board) Retire(id int) error {
+	if id < 0 || id >= b.n {
+		return fmt.Errorf("loadinfo: node %d out of range", id)
+	}
+	if b.flags[id]&flagRemoved != 0 {
+		return fmt.Errorf("loadinfo: node %d already retired", id)
+	}
+	b.flags[id] |= flagRemoved
+	b.flags[id] &^= flagHasSlot
+	b.live--
+	b.sumsDirty = true
+	b.recomputePartition(int32(id / PartitionSize))
 	return nil
 }
 
@@ -279,6 +351,12 @@ func packFlags(st node.LoadStatus) uint8 {
 	if st.HasSlot {
 		fl |= flagHasSlot
 	}
+	if st.Draining {
+		fl |= flagDraining
+	}
+	if st.Removed {
+		fl |= flagRemoved
+	}
 	return fl
 }
 
@@ -294,6 +372,8 @@ func (b *Board) entryAt(i int) Entry {
 		Pressured:         fl&flagPressured != 0,
 		Reserved:          fl&flagReserved != 0,
 		Down:              fl&flagDown != 0,
+		Draining:          fl&flagDraining != 0,
+		Removed:           fl&flagRemoved != 0,
 		HasSlot:           fl&flagHasSlot != 0,
 		FaultRate:         b.faultRate[i],
 		IOActiveJobs:      int(b.ioActive[i]),
@@ -345,26 +425,37 @@ func (b *Board) AccumulatedIdleMB(excludeReserved bool) float64 {
 
 // MeanUserMB reports the average user memory per workstation — the
 // threshold the paper compares accumulated idle memory against before
-// activating a reconfiguration.
+// activating a reconfiguration. Retired workstations are excluded from
+// both the sum and the divisor; with no removals the value is bit-identical
+// to the fixed-membership board's.
 func (b *Board) MeanUserMB() float64 {
-	if b.n == 0 {
+	if b.live == 0 {
 		return 0
 	}
 	if b.sumsDirty {
 		b.recomputeSums()
 	}
-	return b.sumUserMB / float64(b.n)
+	return b.sumUserMB / float64(b.live)
 }
+
+// Live reports the number of tracked nodes not yet retired.
+func (b *Board) Live() int { return b.live }
 
 // recomputeSums rebuilds the cached cluster-wide sums with one dense pass
 // in ascending index order — the same addition order the pre-sharded board
-// used, so the cached values are bit-identical to a direct scan.
+// used, so the cached values are bit-identical to a direct scan. Retired
+// workstations contribute nothing; draining workstations keep their user
+// memory (the machine is still live) but their idle memory no longer
+// counts as reconfigurable capacity — it is leaving the cluster.
 func (b *Board) recomputeSums() {
 	var up, unreserved, user float64
 	for i := 0; i < b.n; i++ {
-		user += b.userMB[i]
 		fl := b.flags[i]
-		if fl&flagDown != 0 {
+		if fl&flagRemoved != 0 {
+			continue
+		}
+		user += b.userMB[i]
+		if fl&(flagDown|flagDraining) != 0 {
 			continue
 		}
 		up += b.idleMB[i]

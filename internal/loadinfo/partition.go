@@ -11,10 +11,11 @@ import "fmt"
 //
 //  1. destBest[p] is the index of the best statically-eligible destination
 //     in partition p under the selection order (idle desc, jobs asc, index
-//     asc), or -1. "Statically eligible" means unreserved, up, unpressured,
-//     with a free slot — the per-query demand and exclude filters are
-//     applied at query time.
-//  2. resvBest[p] is the same for reservation eligibility (unreserved, up).
+//     asc), or -1. "Statically eligible" means unreserved, up, not draining
+//     or retired, unpressured, with a free slot — the per-query demand and
+//     exclude filters are applied at query time.
+//  2. resvBest[p] is the same for reservation eligibility (unreserved, up,
+//     not draining or retired).
 //  3. destHeap/resvHeap order all partitions by their candidates under the
 //     same total order, candidate-less partitions ranking last; pos[] is
 //     the inverse permutation of items[].
@@ -111,11 +112,17 @@ func (b *Board) recomputeAggregates(p int32) {
 	var down, pressured int32
 	for i := lo; i < hi; i++ {
 		fl := b.flags[i]
+		if fl&flagRemoved != 0 {
+			continue
+		}
 		if fl&flagPressured != 0 {
 			pressured++
 		}
 		if fl&flagDown != 0 {
 			down++
+			continue
+		}
+		if fl&flagDraining != 0 {
 			continue
 		}
 		up += b.idleMB[i]
@@ -160,13 +167,13 @@ func (b *Board) scanRange(dest bool, lo, hi int, demandMB float64, exclude map[i
 	for i := lo; i < hi; i++ {
 		fl := b.flags[i]
 		if dest {
-			if fl&(flagReserved|flagDown|flagPressured) != 0 || fl&flagHasSlot == 0 {
+			if fl&(flagIneligible|flagPressured) != 0 || fl&flagHasSlot == 0 {
 				continue
 			}
 			if b.idleMB[i] < demandMB {
 				continue
 			}
-		} else if fl&(flagReserved|flagDown) != 0 {
+		} else if fl&flagIneligible != 0 {
 			continue
 		}
 		if len(exclude) > 0 && exclude[int(b.nodeID[i])] {
@@ -307,6 +314,13 @@ func (b *Board) heapPush(h *pheap, dest bool, p int32) {
 	h.pos[p] = int32(len(h.items))
 	h.items = append(h.items, p)
 	b.siftUp(h, dest, len(h.items)-1)
+}
+
+// admitPartition grows heap h by one slot and inserts partition p — the
+// incremental path AddNode takes when a join opens a fresh shard.
+func (b *Board) admitPartition(h *pheap, dest bool, p int32) {
+	h.pos = append(h.pos, -1)
+	b.heapPush(h, dest, p)
 }
 
 // errPartition reports an out-of-range partition index.

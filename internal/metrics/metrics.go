@@ -56,6 +56,15 @@ type Collector struct {
 	LeaseReselections int // leases re-established on the next candidate
 	DegradedLocal     int // blocked jobs degraded to local paging
 	DegradedAdmits    int // pending submissions force-admitted past the wait bound
+
+	// Elastic-membership and correlated-fault counters.
+	NodesJoined      int // workstations added at runtime
+	NodesDrained     int // graceful drains started
+	NodesRemoved     int // drained workstations retired
+	DrainMigrations  int // resident jobs migrated off draining workstations
+	DomainPartitions int // domain-wide network partitions injected
+	AutoscaleUps     int // autoscaler join decisions
+	AutoscaleDowns   int // autoscaler drain decisions
 }
 
 // DefaultSampleInterval matches the paper's 1-second collection of idle
@@ -80,6 +89,9 @@ func (c *Collector) Observe(now time.Duration, nodes []*node.Node, pending int) 
 	running, reserved := 0, 0
 	var counts []float64
 	for _, n := range nodes {
+		if n.Removed() {
+			continue
+		}
 		idle += n.IdleMB()
 		running += n.NumJobs()
 		if n.Reserved() {
@@ -202,6 +214,14 @@ type Result struct {
 	DegradedLocal     int
 	DegradedAdmits    int
 
+	NodesJoined      int
+	NodesDrained     int
+	NodesRemoved     int
+	DrainMigrations  int
+	DomainPartitions int
+	AutoscaleUps     int
+	AutoscaleDowns   int
+
 	collector *Collector
 }
 
@@ -292,6 +312,13 @@ func BuildResult(traceName, policy string, jobs []*job.Job, col *Collector) (*Re
 		r.LeaseReselections = col.LeaseReselections
 		r.DegradedLocal = col.DegradedLocal
 		r.DegradedAdmits = col.DegradedAdmits
+		r.NodesJoined = col.NodesJoined
+		r.NodesDrained = col.NodesDrained
+		r.NodesRemoved = col.NodesRemoved
+		r.DrainMigrations = col.DrainMigrations
+		r.DomainPartitions = col.DomainPartitions
+		r.AutoscaleUps = col.AutoscaleUps
+		r.AutoscaleDowns = col.AutoscaleDowns
 		if r.Killed != col.JobsKilled {
 			return nil, fmt.Errorf("metrics: %d killed jobs but %d kill events counted", r.Killed, col.JobsKilled)
 		}

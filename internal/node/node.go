@@ -100,6 +100,8 @@ type Node struct {
 
 	reserved     bool
 	down         bool         // crashed and not yet repaired
+	draining     bool         // leaving gracefully: no new work, residents migrate out
+	removed      bool         // retired from the cluster; permanently inert
 	reservedJobs map[int]bool // jobs admitted under reservation (special service)
 
 	// covered[i] records the virtual time up to which jobs[i]'s execution
@@ -251,9 +253,11 @@ func (n *Node) Jobs() []*job.Job {
 
 // HasSlot reports whether a job slot is free (CPU threshold not reached),
 // counting slots held for in-flight migrations. A crashed workstation has
-// no slots until repaired.
+// no slots until repaired; draining and removed workstations never do —
+// they are shedding work, not accepting it.
 func (n *Node) HasSlot() bool {
-	return !n.down && len(n.jobs)+len(n.incoming) < n.cfg.CPUThreshold
+	return !n.down && !n.draining && !n.removed &&
+		len(n.jobs)+len(n.incoming) < n.cfg.CPUThreshold
 }
 
 // ExpectMigration holds a job slot and demandMB of memory for a migration
@@ -291,6 +295,18 @@ func (n *Node) CancelExpected(jobID int) error {
 
 // ExpectedCount reports migrations currently in flight toward this node.
 func (n *Node) ExpectedCount() int { return len(n.incoming) }
+
+// ExpectedJobs returns the IDs of jobs with in-flight holds on this node in
+// ascending order (the invariant auditor cross-checks them against the
+// memory manager's registrations).
+func (n *Node) ExpectedJobs() []int {
+	ids := make([]int, 0, len(n.incoming))
+	for id := range n.incoming {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
 
 // IdleMB reports idle user memory.
 func (n *Node) IdleMB() float64 { return n.mem.IdleMB() }
@@ -385,6 +401,42 @@ func (n *Node) Recover() error {
 	return nil
 }
 
+// StartDrain marks the workstation as leaving gracefully: it accepts no new
+// submissions, migrations, or holds, keeps running its resident jobs, and is
+// retired once the cluster has migrated or re-placed them all. Draining is
+// idempotent; a removed workstation cannot drain again.
+func (n *Node) StartDrain() error {
+	if n.removed {
+		return fmt.Errorf("node %d: drain after removal", n.cfg.ID)
+	}
+	n.draining = true
+	return nil
+}
+
+// Draining reports whether the workstation is draining toward removal.
+func (n *Node) Draining() bool { return n.draining }
+
+// Remove retires the workstation permanently. It must be empty: no resident
+// jobs, no in-flight migration holds, and no reservation.
+func (n *Node) Remove() error {
+	if n.removed {
+		return fmt.Errorf("node %d: already removed", n.cfg.ID)
+	}
+	if len(n.jobs) > 0 || len(n.incoming) > 0 {
+		return fmt.Errorf("node %d: remove with %d resident jobs and %d expected migrations",
+			n.cfg.ID, len(n.jobs), len(n.incoming))
+	}
+	if n.reserved {
+		return fmt.Errorf("node %d: remove while reserved", n.cfg.ID)
+	}
+	n.removed = true
+	n.draining = false
+	return nil
+}
+
+// Removed reports whether the workstation has been retired.
+func (n *Node) Removed() bool { return n.removed }
+
 // ReservedJobCount reports how many resident jobs were admitted as special
 // service under the reservation.
 func (n *Node) ReservedJobCount() int {
@@ -438,6 +490,8 @@ type LoadStatus struct {
 	Pressured bool
 	Reserved  bool
 	Down      bool
+	Draining  bool
+	Removed   bool
 	HasSlot   bool
 	FaultRate float64
 	// IOActiveJobs and CacheAvailability are the I/O load status.
@@ -458,6 +512,8 @@ func (n *Node) LoadStatus() LoadStatus {
 		Pressured:         n.mem.Pressured(),
 		Reserved:          n.reserved,
 		Down:              n.down,
+		Draining:          n.draining,
+		Removed:           n.removed,
 		HasSlot:           n.HasSlot(),
 		FaultRate:         n.mem.FaultRate(),
 		IOActiveJobs:      n.ioActive,
@@ -469,6 +525,9 @@ func (n *Node) LoadStatus() LoadStatus {
 func (n *Node) Admit(j *job.Job, now time.Duration) error {
 	if n.down {
 		return fmt.Errorf("node %d: down, cannot admit job %d", n.cfg.ID, j.ID)
+	}
+	if n.draining || n.removed {
+		return fmt.Errorf("node %d: leaving the cluster, cannot admit job %d", n.cfg.ID, j.ID)
 	}
 	if !n.HasSlot() {
 		return fmt.Errorf("node %d: no job slot for job %d", n.cfg.ID, j.ID)
@@ -495,6 +554,9 @@ func (n *Node) Admit(j *job.Job, now time.Duration) error {
 func (n *Node) AttachMigrated(j *job.Job, cost time.Duration, special bool, now time.Duration) error {
 	if n.down {
 		return fmt.Errorf("node %d: down, cannot land job %d", n.cfg.ID, j.ID)
+	}
+	if n.removed {
+		return fmt.Errorf("node %d: removed, cannot land job %d", n.cfg.ID, j.ID)
 	}
 	_, held := n.incoming[j.ID]
 	if !held && !n.HasSlot() {

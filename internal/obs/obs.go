@@ -66,6 +66,14 @@ const (
 	// Periodic per-node time series (cluster sample ticker).
 	KindNodeSample // Aux = resident jobs, Val = idle MB, Flags = reserved/down
 
+	// Dynamic membership (cluster) and correlated failure domains
+	// (faults.Injector).
+	KindNodeJoin      // workstation added at runtime (Aux = live node count)
+	KindNodeDrain     // graceful drain started on Node (Aux = resident jobs)
+	KindNodeRemove    // drained workstation retired (Aux = live node count)
+	KindDomainOutage  // failure domain went dark (Node = -1, Aux = domain, Val = members; FlagPartition for partitions)
+	KindDomainRestore // failure domain came back (Node = -1, Aux = domain, Val = members; FlagPartition for partitions)
+
 	kindCount // sentinel
 )
 
@@ -97,6 +105,11 @@ var kindNames = [kindCount]string{
 	KindNodeRepair:        "node-repair",
 	KindDegrade:           "degrade",
 	KindNodeSample:        "node-sample",
+	KindNodeJoin:          "node-join",
+	KindNodeDrain:         "node-drain",
+	KindNodeRemove:        "node-remove",
+	KindDomainOutage:      "domain-outage",
+	KindDomainRestore:     "domain-restore",
 }
 
 // String names the kind for exports and reports.
@@ -127,6 +140,12 @@ const (
 	FlagDown
 	// FlagCrash marks a lease expiry/release caused by a workstation crash.
 	FlagCrash
+	// FlagPartition marks a domain outage as a network partition (board
+	// silence and transfer aborts) rather than a crash wave.
+	FlagPartition
+	// FlagDrain marks a lease expiry/release caused by a node drain, and a
+	// sampled node as draining (KindNodeSample).
+	FlagDrain
 )
 
 // Event is one scheduler decision at a simulated instant. It is a compact

@@ -4,8 +4,10 @@
 # parallel-vs-sequential determinism tests (internal/experiments) and the
 # runner stress test (internal/runner). The fault-injection and lease
 # packages get a second -count=2 pass (catches cross-run state leakage in
-# the seeded fault streams), and a vrsim run with every fault dimension
-# enabled smoke-tests self-healing end to end.
+# the seeded fault streams), a vrsim run with every fault dimension
+# enabled smoke-tests self-healing end to end, and a level-1 chaos grid
+# (membership churn + domain faults, invariant auditor on) must complete
+# with zero violations.
 #
 # With --bench, a single-iteration pass over the core benchmarks runs at
 # the end — a smoke check that the hot paths still execute and report,
@@ -26,14 +28,19 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go build ./..."
 go build ./...
+# The race detector is ~5-10x slower than a plain run and the root
+# equivalence suite alone needs ~15 min of it on a single CPU, so the
+# per-binary timeout is raised well past go test's 10m default.
 echo "== go test -race ./..."
-go test -race ./...
+go test -race -timeout 45m ./...
 echo "== go test -race -count=2 ./internal/faults/... ./internal/core/..."
-go test -race -count=2 ./internal/faults/... ./internal/core/...
+go test -race -timeout 45m -count=2 ./internal/faults/... ./internal/core/...
 echo "== fault-sweep smoke run (cmd/vrsim)"
 go run ./cmd/vrsim -group 2 -level 1 -policy vr -faults \
     -mtbf 20m -crash requeue -droprate 0.1 -abortrate 0.2 -lease 30s \
     >/dev/null
+echo "== chaos-grid smoke run (cmd/vrbench, invariant auditor on)"
+go run ./cmd/vrbench -exp chaos -levels 1 >/dev/null
 if [ "$BENCH" = 1 ]; then
     echo "== bench smoke (single iteration)"
     go test -run '^$' -benchtime=1x \
