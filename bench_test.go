@@ -339,6 +339,80 @@ func BenchmarkClusterRun(b *testing.B) { benchClusterRun(b, false) }
 // decision plus the periodic per-node samples.
 func BenchmarkClusterRunTraced(b *testing.B) { benchClusterRun(b, true) }
 
+// BenchmarkClusterRunSteady measures the simulator's steady state: the
+// cluster is armed and warmed up once, then every iteration rewinds to the
+// warmup snapshot and re-simulates a one-second window of quantum, control,
+// and sampling activity. Restore reuses live backing arrays and the event
+// arena recycles its slots, so after the priming pass the loop must not
+// allocate — scripts/bench.sh fails the snapshot if allocs/op is nonzero.
+func BenchmarkClusterRunSteady(b *testing.B) {
+	const warmup = 5 * time.Minute
+	const window = time.Second
+	tr := benchClusterTrace(b)
+	sched, err := core.NewVReconfiguration(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cluster.Cluster1()
+	cfg.Quantum = 10 * time.Millisecond
+	c, err := cluster.New(cfg, sched)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Start(tr); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.RunToDivergence(warmup); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func() {
+		b.Helper()
+		if err := c.Restore(snap); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.RunToDivergence(warmup + window); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // prime: backing arrays reach steady-state capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// benchSeedGrid runs the five-seed sensitivity grid on SPEC-Trace-3 with
+// one worker, either forking each cell off a shared warmup prefix or
+// re-simulating every cell from scratch. The rows are byte-identical
+// either way; BENCH_7.json pairs the two to record the fork speedup.
+func benchSeedGrid(b *testing.B, fork bool) {
+	b.Helper()
+	cfg := experiments.RunConfig{
+		Group:    workload.Group1,
+		Quantum:  benchQuantum,
+		Parallel: 1,
+		Fork:     fork,
+	}
+	seeds := []int64{7, 21, 42, 99, 1234}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SeedSensitivity(cfg, 3, seeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSeedGridFork shares the simulated warmup prefix across cells.
+func BenchmarkSeedGridFork(b *testing.B) { benchSeedGrid(b, true) }
+
+// BenchmarkSeedGridFresh re-simulates the full trace for every cell.
+func BenchmarkSeedGridFresh(b *testing.B) { benchSeedGrid(b, false) }
+
 // BenchmarkClusterRunBaseline is the same execution under plain
 // G-Loadsharing, isolating the reconfiguration machinery's overhead (the
 // paper: "the adaptive process causes little additional overhead").

@@ -35,7 +35,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("vrbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, analytic, intervals, ablations, seeds, faults, chaos, scale")
+		exp      = fs.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, analytic, intervals, ablations, ablate, seeds, faults, chaos, scale")
 		seed     = fs.Int64("seed", experiments.DefaultSeed, "trace generation seed")
 		quantum  = fs.Duration("quantum", 100*time.Millisecond, "CPU scheduling quantum")
 		level    = fs.Int("level", 3, "trace level for the ablation studies")
@@ -44,6 +44,7 @@ func run(args []string) error {
 		jobs     = fs.Int("jobs", 0, "submissions at the largest scale point, scaled down proportionally (0 = two per node, cap 1e6)")
 		benchout = fs.String("benchout", "", "also write the scaling sweep as go-test bench lines to this file (-exp scale; for cmd/benchjson)")
 		levels   = fs.String("levels", "", "comma-separated trace levels for -exp chaos (default all five)")
+		fork     = fs.Bool("fork", true, "share the simulated warmup prefix across grid cells via snapshot/fork (-exp seeds, -exp ablate); results are identical either way")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,11 +136,24 @@ func run(args []string) error {
 	case "ablations":
 		return ablations(out, cfg(workload.Group1), *level)
 	case "seeds":
-		rows, err := experiments.SeedSensitivity(cfg(workload.Group1), *level, []int64{7, 21, 42, 99, 1234})
+		c := cfg(workload.Group1)
+		c.Fork = *fork
+		start := time.Now()
+		rows, err := experiments.SeedSensitivity(c, *level, []int64{7, 21, 42, 99, 1234})
 		if err != nil {
 			return err
 		}
+		fmt.Fprintf(out, "seed grid on level %d in %v (fork=%v)\n\n", *level, time.Since(start).Round(time.Millisecond), *fork)
 		return experiments.RenderSeedRows(out, rows)
+	case "ablate":
+		c := cfg(workload.Group1)
+		c.Fork = *fork
+		fmt.Fprintf(out, "running what-if grid on trace level %d (fork=%v)...\n\n", *level, *fork)
+		results, err := experiments.WhatIfGrid(c, *level, experiments.StandardWhatIfs(c))
+		if err != nil {
+			return err
+		}
+		return experiments.RenderAblation(out, "What-if grid — mid-run policy swaps from a shared warmup prefix", results)
 	case "scale":
 		fmt.Fprintf(out, "running scaling sweep up to %d nodes...\n\n", *nodes)
 		sweep, err := experiments.RunScale(experiments.ScaleConfig{

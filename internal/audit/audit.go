@@ -91,6 +91,18 @@ func New() *Auditor { return &Auditor{} }
 // Checks reports how many snapshots have been audited.
 func (a *Auditor) Checks() int { return a.checks }
 
+// Rewind rolls the counters back to an earlier point, dropping checks and
+// violations recorded after it. Cluster fork restores use it so audits of
+// an abandoned continuation do not leak into the next fork.
+func (a *Auditor) Rewind(checks, violations int) {
+	if checks >= 0 && checks < a.checks {
+		a.checks = checks
+	}
+	if violations >= 0 && violations < len(a.violations) {
+		a.violations = a.violations[:violations]
+	}
+}
+
 // Violations returns every recorded breach, in detection order.
 func (a *Auditor) Violations() []Violation {
 	out := make([]Violation, len(a.violations))

@@ -237,6 +237,21 @@ type Cluster struct {
 	timedOut    bool
 	recorder    *record.Recorder
 	ranJobs     []*job.Job
+	runErr      error
+
+	// holdOpen keeps the tickers alive when the outstanding-job count hits
+	// zero: during a fork driver's shared warmup prefix only the warmup
+	// jobs are scheduled, and an early quiescence must not stop the clocks
+	// a fresh run (whose tail jobs are still outstanding) would keep
+	// running. finish clears it.
+	holdOpen bool
+
+	// Run-lifecycle state promoted to fields so Start/finish can be split
+	// around a snapshot point and so a snapshot can capture the tickers.
+	controlTicker *sim.Ticker
+	sampleTicker  *sim.Ticker
+	recordTicker  *sim.Ticker
+	cleanup       func()
 
 	// Elastic membership and chaos state: in-flight transfers by job ID,
 	// drain start times, removal times, the conservation counters the
@@ -484,58 +499,99 @@ func (c *Cluster) Recording() *record.Log {
 // Run executes a trace to completion and summarizes it. The trace must be
 // sized for this cluster.
 func (c *Cluster) Run(tr *trace.Trace) (*metrics.Result, error) {
+	if err := c.Start(tr); err != nil {
+		return nil, err
+	}
+	return c.finish(tr.Name)
+}
+
+// RunDiverged executes a trace with a what-if divergence applied at the
+// given instant: the run proceeds exactly as Run would up to at, then apply
+// mutates the cluster (swap the scheduler, change the control period, ...)
+// and the run continues under the changed regime. The divergence fires
+// after every same-instant event of the normal classes, which is precisely
+// where a fork driver's RunToDivergence/Snapshot/apply sequence lands — so
+// a fresh RunDiverged and a forked continuation with the same apply are
+// byte-identical.
+func (c *Cluster) RunDiverged(tr *trace.Trace, name string, at time.Duration, apply func(c *Cluster) error) (*metrics.Result, error) {
+	if err := c.Start(tr); err != nil {
+		return nil, err
+	}
+	if _, err := c.engine.ScheduleClass(at, sim.ClassDiverge, func() {
+		if err := apply(c); err != nil {
+			c.fail(err)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	return c.finish(name)
+}
+
+// fail aborts the run at the first error, preserving it for finish.
+func (c *Cluster) fail(err error) {
+	if c.runErr == nil {
+		c.runErr = err
+		c.engine.Stop()
+	}
+}
+
+// Start arms a trace execution on the engine without running it: arrivals,
+// fault injection, the membership script, the quantum clock, the control
+// and sampling tickers, the optional recorder, and the timeout. Run is
+// Start plus finish; the split exists so fork-based drivers can execute a
+// shared warmup prefix once (RunToDivergence), Snapshot, and then finish
+// each divergent continuation from the restored state.
+func (c *Cluster) Start(tr *trace.Trace) error {
 	if tr.Nodes != len(c.nodes) {
-		return nil, fmt.Errorf("cluster: trace for %d nodes, cluster has %d", tr.Nodes, len(c.nodes))
+		return fmt.Errorf("cluster: trace for %d nodes, cluster has %d", tr.Nodes, len(c.nodes))
 	}
 	if err := tr.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	jobs, err := tr.Jobs()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	c.outstanding = len(jobs)
 	c.ranJobs = jobs
+	c.runErr = nil
+	c.timedOut = false
 	c.homes = make(map[int]int, len(jobs))
 	for i, j := range jobs {
 		c.homes[j.ID] = tr.Items[i].Home
 	}
 
-	// Arrivals. The arrival counter feeds the auditor's job-conservation
-	// equation; requeues after crashes re-enter submit without it.
+	// Arrivals, in the arrival event class so they win every same-instant
+	// tie against runtime events — scheduling them all up front already
+	// gave them the lowest sequence numbers; the class makes that ordering
+	// hold for arrivals injected later by a fork driver too. The arrival
+	// counter feeds the auditor's job-conservation equation; requeues
+	// after crashes re-enter submit without it.
 	for i, j := range jobs {
 		j, home := j, tr.Items[i].Home
-		if _, err := c.engine.Schedule(j.SubmitAt, func() {
+		if _, err := c.engine.ScheduleClass(j.SubmitAt, sim.ClassArrival, func() {
 			c.arrived++
 			c.submit(j, home)
 		}); err != nil {
-			return nil, err
+			return err
 		}
 	}
 
 	// Initial board state so early placements see real capacity.
 	if err := c.board.Refresh(0, c.nodes); err != nil {
-		return nil, err
-	}
-
-	var runErr error
-	fail := func(err error) {
-		if runErr == nil {
-			runErr = err
-			c.engine.Stop()
-		}
+		return err
 	}
 
 	if c.cfg.Faults.Active() {
 		inj, err := faults.NewInjector(c.engine, c.cfg.Faults, len(c.nodes), faults.Hooks{
 			Crash: func(id int) {
 				if err := c.crashNode(id); err != nil {
-					fail(err)
+					c.fail(err)
 				}
 			},
 			Recover: func(id int) {
 				if err := c.recoverNode(id); err != nil {
-					fail(err)
+					c.fail(err)
 				}
 			},
 			PartitionStart: func(domain int, members []int) {
@@ -545,7 +601,7 @@ func (c *Cluster) Run(tr *trace.Trace) (*metrics.Result, error) {
 			PartitionEnd: func(domain int, members []int) {},
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		inj.SetTracer(c.obs)
 		c.injector = inj
@@ -557,98 +613,243 @@ func (c *Cluster) Run(tr *trace.Trace) (*metrics.Result, error) {
 		ev := ev
 		if _, err := c.engine.Schedule(ev.At, func() {
 			if err := c.applyMembership(ev); err != nil {
-				fail(err)
+				c.fail(err)
 			}
 		}); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	// The quantum clock is self-arming rather than a fixed sim.Ticker:
-	// while any workstation holds a job it re-arms one quantum ahead
-	// (before the tick body, exactly as a Ticker would, so events the
-	// body schedules keep their order relative to the next tick), and
-	// while the whole cluster is quiescent it fast-forwards to the
+	// while any workstation holds a job it advances quantum by quantum,
+	// and while the whole cluster is quiescent it fast-forwards to the
 	// quantum boundary covering the next pending event — submission,
 	// control period, fault, landing, or timeout — making the hot loop
-	// activity-proportional. Elided ticks are provable no-ops: with no
-	// resident jobs node.Tick does nothing and the tick body schedules
-	// nothing, and the boundary arithmetic keeps every executed tick on
-	// the same instants, with the same relative event order, as the
-	// dense schedule (see the dense-vs-elided equivalence tests).
+	// activity-proportional. Active stretches with no engine event inside
+	// the next quantum are batched: the clock advances directly
+	// (AdvanceTo) and the tick body runs inline without a heap operation,
+	// which is sound because tick bodies schedule no engine events, so no
+	// ordering exists for the elided re-arm event to perturb. When an
+	// event is pending within the quantum the clock falls back to a real
+	// re-armed timer, exactly as a Ticker would, preserving the relative
+	// order of that event and the tick. Elided idle ticks are provable
+	// no-ops: with no resident jobs node.Tick does nothing, and the
+	// boundary arithmetic keeps every executed tick on the same instants
+	// as the dense schedule (see the dense-vs-elided equivalence tests).
 	for i, n := range c.nodes {
 		c.setActive(i, n.NumJobs() > 0)
 	}
 	var quantumFn func()
 	quantumFn = func() {
-		if c.cfg.DenseTicks || c.anyActive() {
-			c.quantumHandle = c.engine.After(c.cfg.Quantum, quantumFn)
-			if err := c.quantumTick(); err != nil {
-				fail(err)
-			}
-			return
-		}
 		q := c.cfg.Quantum
-		now := c.engine.Now()
-		target := now + q
-		if next, ok := c.engine.NextEventAt(); ok && next > now {
-			if r := next % q; r != 0 {
-				next += q - r
+		for {
+			if c.cfg.DenseTicks {
+				c.quantumHandle = c.engine.After(q, quantumFn)
+				if err := c.quantumTick(); err != nil {
+					c.fail(err)
+				}
+				return
 			}
-			target = next
+			if !c.anyActive() {
+				now := c.engine.Now()
+				target := now + q
+				if next, ok := c.engine.NextEventAt(); ok && next > now {
+					if r := next % q; r != 0 {
+						next += q - r
+					}
+					target = next
+				}
+				c.quantumHandle, _ = c.engine.Schedule(target, quantumFn) // target >= now; cannot fail
+				return
+			}
+			now := c.engine.Now()
+			next, ok := c.engine.NextEventAt()
+			if ok && next <= now+q {
+				c.quantumHandle = c.engine.After(q, quantumFn)
+				if err := c.quantumTick(); err != nil {
+					c.fail(err)
+				}
+				return
+			}
+			// No engine event inside the next quantum: tick inline and
+			// advance the clock instead of paying a heap push/pop for an
+			// un-contended re-arm. When the event horizon is several
+			// quanta away, first try to collapse the whole stretch into
+			// one closed-form accounting pass per active workstation —
+			// legal only while no node has a completion, demand-phase
+			// crossing, or partially resident job inside the stretch, so
+			// no scheduler callback or cross-node interaction can fire.
+			if kEvent := int64((next - now - 1) / q); ok && kEvent >= 2 {
+				if k := c.planBatch(kEvent); k >= 2 {
+					if err := c.applyBatch(now, k); err != nil {
+						c.fail(err)
+						return
+					}
+					if err := c.engine.AdvanceTo(now + time.Duration(k)*q); err != nil {
+						c.fail(err)
+						return
+					}
+					continue
+				}
+			}
+			if err := c.quantumTick(); err != nil {
+				c.fail(err)
+				return
+			}
+			if c.engine.Stopped() {
+				return
+			}
+			if err := c.engine.AdvanceTo(now + q); err != nil {
+				c.fail(err)
+				return
+			}
 		}
-		c.quantumHandle, _ = c.engine.Schedule(target, quantumFn) // target >= now; cannot fail
 	}
 	c.quantumHandle = c.engine.After(c.cfg.Quantum, quantumFn)
-	defer func() { c.engine.Cancel(c.quantumHandle) }()
 
-	controlTicker, err := sim.NewTicker(c.engine, c.cfg.ControlPeriod, func() {
+	c.controlTicker, err = sim.NewTicker(c.engine, c.cfg.ControlPeriod, func() {
 		if err := c.controlTick(); err != nil {
-			fail(err)
+			c.fail(err)
 		}
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	defer controlTicker.Stop()
 
-	sampleTicker, err := sim.NewTicker(c.engine, c.cfg.SampleInterval, func() {
+	c.sampleTicker, err = sim.NewTicker(c.engine, c.cfg.SampleInterval, func() {
 		c.col.Observe(c.engine.Now(), c.nodes, len(c.pending))
 		c.sampleObs()
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	defer sampleTicker.Stop()
 
+	c.recordTicker = nil
 	if c.cfg.RecordInterval > 0 {
 		rec, err := record.NewRecorder(tr.Name, c.cfg.RecordInterval, len(c.nodes), jobs, c.homes)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.recorder = rec
-		recordTicker, err := sim.NewTicker(c.engine, c.cfg.RecordInterval, func() {
+		c.recordTicker, err = sim.NewTicker(c.engine, c.cfg.RecordInterval, func() {
 			rec.Observe(c.engine.Now())
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		defer recordTicker.Stop()
 	}
 
 	if _, err := c.engine.Schedule(c.cfg.MaxVirtualTime, func() {
 		c.timedOut = true
 		c.engine.Stop()
 	}); err != nil {
-		return nil, err
+		return err
 	}
 
+	c.cleanup = func() {
+		c.engine.Cancel(c.quantumHandle)
+		c.controlTicker.Stop()
+		c.sampleTicker.Stop()
+		if c.recordTicker != nil {
+			c.recordTicker.Stop()
+		}
+	}
+	return nil
+}
+
+// RunToDivergence executes the armed trace up to the divergence instant —
+// including every same-instant arrival- and normal-class event — so the
+// cluster lands on exactly the state a fresh run has when a divergence
+// event at that instant fires. Call after Start, before Snapshot.
+func (c *Cluster) RunToDivergence(at time.Duration) error {
+	c.engine.RunToDivergence(at)
+	return c.runErr
+}
+
+// HoldOpen keeps the run's clocks alive across a zero-outstanding moment.
+// A fork driver sets it for the shared warmup prefix, where only the
+// warmup jobs are scheduled: if they all complete before the divergence
+// instant, the tickers must keep running to it — a fresh run of the full
+// composite trace, whose tail jobs are still outstanding, would not stop
+// there. finish clears the flag.
+func (c *Cluster) HoldOpen(on bool) { c.holdOpen = on }
+
+// SetScheduler swaps the scheduling policy mid-run. Divergence-grid forks
+// use it to continue a shared warmup under each variant policy.
+func (c *Cluster) SetScheduler(s Scheduler) error {
+	if s == nil {
+		return errors.New("cluster: nil scheduler")
+	}
+	c.sched = s
+	return nil
+}
+
+// SetControlPeriod retunes the control (load-information exchange) period
+// mid-run, taking effect at the next control tick re-arm.
+func (c *Cluster) SetControlPeriod(d time.Duration) error {
+	if c.controlTicker == nil {
+		return errors.New("cluster: control period can only be changed during a run")
+	}
+	if d < c.cfg.Quantum {
+		return fmt.Errorf("cluster: control period %v below quantum %v", d, c.cfg.Quantum)
+	}
+	c.cfg.ControlPeriod = d
+	return c.controlTicker.SetPeriod(d)
+}
+
+// InjectArrivals schedules additional jobs onto an armed run — the fork
+// driver's divergence step, adding a per-seed tail after the shared warmup
+// prefix. Jobs must arrive strictly after the current instant and are
+// scheduled in the given order, which together with the arrival event
+// class reproduces exactly the ordering a fresh run of the composite trace
+// would have given them.
+func (c *Cluster) InjectArrivals(jobs []*job.Job, homes []int) error {
+	if len(jobs) != len(homes) {
+		return fmt.Errorf("cluster: %d jobs with %d homes", len(jobs), len(homes))
+	}
+	now := c.engine.Now()
+	for i, j := range jobs {
+		if j.SubmitAt <= now {
+			return fmt.Errorf("cluster: injected job %d arrives at %v, not after %v", j.ID, j.SubmitAt, now)
+		}
+		j, home := j, homes[i]
+		if _, dup := c.homes[j.ID]; dup {
+			return fmt.Errorf("cluster: injected job %d collides with an existing job ID", j.ID)
+		}
+		c.homes[j.ID] = home
+		if _, err := c.engine.ScheduleClass(j.SubmitAt, sim.ClassArrival, func() {
+			c.arrived++
+			c.submit(j, home)
+		}); err != nil {
+			return err
+		}
+	}
+	c.outstanding += len(jobs)
+	c.ranJobs = append(c.ranJobs, jobs...)
+	return nil
+}
+
+// Finish drives an armed run to completion and summarizes it under the
+// given name — the fork driver's last step after Restore and
+// InjectArrivals. Run and RunDiverged are Start plus Finish.
+func (c *Cluster) Finish(name string) (*metrics.Result, error) { return c.finish(name) }
+
+// finish drives an armed run to completion and summarizes it under the
+// given trace name.
+func (c *Cluster) finish(name string) (*metrics.Result, error) {
+	defer c.cleanup()
+	c.holdOpen = false
+	if c.outstanding == 0 {
+		// Everything already completed during a held-open warmup; there is
+		// no completion event left to notice it.
+		c.engine.Stop()
+	}
 	c.engine.Run()
-	if runErr != nil {
-		return nil, runErr
+	if c.runErr != nil {
+		return nil, c.runErr
 	}
 	if c.timedOut {
 		return nil, fmt.Errorf("cluster: %s/%s timed out at %v with %d jobs outstanding",
-			tr.Name, c.sched.Name(), c.cfg.MaxVirtualTime, c.outstanding)
+			name, c.sched.Name(), c.cfg.MaxVirtualTime, c.outstanding)
 	}
 	if c.auditor != nil {
 		if err := c.auditor.Check(c.auditSnapshot()); err != nil {
@@ -660,7 +861,9 @@ func (c *Cluster) Run(tr *trace.Trace) (*metrics.Result, error) {
 			}
 		}
 	}
-	return metrics.BuildResult(tr.Name, c.sched.Name(), jobs, c.col)
+	// The collector is cloned into the result so fork drivers can restore
+	// and reuse the live collector without mutating results already built.
+	return metrics.BuildResult(name, c.sched.Name(), c.ranJobs, c.col.Clone())
 }
 
 // submit routes one arriving (or retried) job through the policy. A home
@@ -937,7 +1140,7 @@ func (c *Cluster) crashNode(id int) error {
 			c.outstanding--
 		}
 	}
-	if c.outstanding == 0 {
+	if c.outstanding == 0 && !c.holdOpen {
 		c.engine.Stop()
 	}
 	return nil
@@ -982,8 +1185,71 @@ func (c *Cluster) quantumTick() error {
 			}
 		}
 	}
-	if c.outstanding == 0 {
+	if c.outstanding == 0 && !c.holdOpen {
 		c.engine.Stop()
+	}
+	return nil
+}
+
+// planBatch returns the longest stretch of quanta, starting at now, that
+// is provably free of job completions on every active workstation (0 or 1
+// means tick normally). Within such a stretch no scheduler callback can
+// fire and no cross-node interaction exists, so each node can advance the
+// whole stretch independently.
+func (c *Cluster) planBatch(kMax int64) int64 {
+	k := kMax
+	q := c.cfg.Quantum
+	for wi, w := range c.active {
+		for w != 0 {
+			id := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if k = c.nodes[id].CompletionFloor(q, k); k < 2 {
+				return k
+			}
+		}
+	}
+	return k
+}
+
+// applyBatch advances every active workstation by the k quanta of a
+// completion-free stretch. Nodes in a flat memory phase collapse their
+// stable prefix into one closed-form accounting pass; the remainder (and
+// nodes with ramping demand or partially resident jobs) replay ordinary
+// per-quantum ticks at the stretch's synthetic instants. Either way the
+// arithmetic is bit-identical to the unbatched path.
+func (c *Cluster) applyBatch(now time.Duration, k int64) error {
+	q := c.cfg.Quantum
+	for wi, w := range c.active {
+		for w != 0 {
+			id := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			n := c.nodes[id]
+			t := int64(0)
+			if kp := n.PlanQuanta(q, now, k); kp >= 2 {
+				if err := n.ApplyQuanta(q, now, kp); err != nil {
+					return err
+				}
+				t = kp
+			}
+			if rest := k - t; rest >= 2 {
+				ok, err := n.TickRampBatch(q, now+time.Duration(t)*q, rest)
+				if err != nil {
+					return err
+				}
+				if ok {
+					t = k
+				}
+			}
+			for ; t < k; t++ {
+				done, err := n.Tick(q, now+time.Duration(t)*q)
+				if err != nil {
+					return err
+				}
+				if len(done) > 0 {
+					return fmt.Errorf("cluster: job completed inside a completion-free stretch on node %d", id)
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -1060,11 +1326,11 @@ func (c *Cluster) retryStranded(now time.Duration) {
 		// capacity for the flight. A landed-but-unattachable image
 		// excludes its current host; a lost image may retry anywhere.
 		demand := s.j.MemoryDemandMB()
-		exclude := map[int]bool{}
+		excludeID := -1
 		if !s.retransfer {
-			exclude[s.dstID] = true
+			excludeID = s.dstID
 		}
-		if id, ok := c.board.BestDestination(demand, exclude); ok {
+		if id, ok := c.board.BestDestinationExcluding(demand, excludeID); ok {
 			if err := c.nodes[id].ExpectMigration(s.j.ID, demand); err == nil {
 				_ = c.board.NotePlacement(id, demand)
 				c.startTransfer(s.j, id, demand, s.cost, s.special, 1)

@@ -245,7 +245,7 @@ func (c *Cluster) processDrains(now time.Duration) error {
 					continue
 				}
 				demand := j.MemoryDemandMB()
-				dst, ok := c.board.BestDestination(demand, map[int]bool{id: true})
+				dst, ok := c.board.BestDestinationExcluding(demand, id)
 				if !ok && degrade {
 					dst, ok = c.degradeTarget(-1)
 				}

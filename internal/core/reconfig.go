@@ -475,7 +475,7 @@ func (m *Manager) reselect(c *cluster.Cluster, now time.Duration, exclude int, n
 	if len(m.reserving)+len(m.reserved) >= m.opts.MaxReserved {
 		return
 	}
-	id, ok := c.Board().ReservationCandidate(map[int]bool{exclude: true})
+	id, ok := c.Board().ReservationCandidateExcluding(exclude)
 	if !ok {
 		return
 	}
@@ -697,7 +697,7 @@ func (m *Manager) blockingExists(c *cluster.Cluster) bool {
 		if victim == nil {
 			return true
 		}
-		if _, ok := board.BestDestination(victim.MemoryDemandMB(), map[int]bool{n.ID(): true}); !ok {
+		if _, ok := board.BestDestinationExcluding(victim.MemoryDemandMB(), n.ID()); !ok {
 			blocked = true
 			return false
 		}

@@ -1,0 +1,96 @@
+package core
+
+import "time"
+
+// This file holds the reconfiguration manager's snapshot/restore support
+// for cluster forking. The assigned jobs referenced by reserved state are
+// rewound in place by the cluster, so the deep copy stops at the job
+// pointers.
+
+// managerState is the manager's mutable state.
+type managerState struct {
+	reserving map[int]reservingState
+	reserved  map[int]reservedSaved
+	stats     Stats
+	records   []ReservationRecord
+
+	episodeOpen  bool
+	episodeSince time.Duration
+}
+
+type reservedSaved struct {
+	state reservedState // assigned/arrivals deep-copied
+}
+
+// SnapshotState captures the manager's mutable state for cluster forking.
+func (m *Manager) SnapshotState() any {
+	s := &managerState{
+		reserving:    make(map[int]reservingState, len(m.reserving)),
+		reserved:     make(map[int]reservedSaved, len(m.reserved)),
+		stats:        m.stats,
+		records:      make([]ReservationRecord, 0, len(m.records)),
+		episodeOpen:  m.episodeOpen,
+		episodeSince: m.episodeSince,
+	}
+	for id, st := range m.reserving {
+		s.reserving[id] = *st
+	}
+	for id, rs := range m.reserved {
+		saved := *rs
+		saved.assigned = append(saved.assigned[:0:0], rs.assigned...)
+		saved.arrivals = append(saved.arrivals[:0:0], rs.arrivals...)
+		s.reserved[id] = reservedSaved{state: saved}
+	}
+	for _, rec := range m.records {
+		cp := rec
+		cp.Arrivals = append(cp.Arrivals[:0:0], rec.Arrivals...)
+		cp.Completions = append(cp.Completions[:0:0], rec.Completions...)
+		s.records = append(s.records, cp)
+	}
+	return s
+}
+
+// RestoreState rewinds the manager to a state from SnapshotState.
+func (m *Manager) RestoreState(state any) {
+	s := state.(*managerState)
+	clear(m.reserving)
+	for id, st := range s.reserving {
+		cp := st
+		m.reserving[id] = &cp
+	}
+	clear(m.reserved)
+	for id, saved := range s.reserved {
+		rs := saved.state
+		rs.assigned = append(rs.assigned[:0:0], saved.state.assigned...)
+		rs.arrivals = append(rs.arrivals[:0:0], saved.state.arrivals...)
+		m.reserved[id] = &rs
+	}
+	m.stats = s.stats
+	m.records = m.records[:0]
+	for _, rec := range s.records {
+		cp := rec
+		cp.Arrivals = append(cp.Arrivals[:0:0], rec.Arrivals...)
+		cp.Completions = append(cp.Completions[:0:0], rec.Completions...)
+		m.records = append(m.records, cp)
+	}
+	m.episodeOpen = s.episodeOpen
+	m.episodeSince = s.episodeSince
+}
+
+// vrState composes the baseline policy's state with the manager's.
+type vrState struct {
+	gls any
+	mgr any
+}
+
+// SnapshotState captures the composed policy's mutable state.
+func (v *VReconfiguration) SnapshotState() any {
+	return &vrState{gls: v.gls.SnapshotState(), mgr: v.mgr.SnapshotState()}
+}
+
+// RestoreState rewinds the composed policy.
+func (v *VReconfiguration) RestoreState(state any) {
+	s := state.(*vrState)
+	v.gls.RestoreState(s.gls)
+	v.mgr.RestoreState(s.mgr)
+}

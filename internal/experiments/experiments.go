@@ -35,6 +35,13 @@ type RunConfig struct {
 	// run owns its engine, cluster, scheduler, and trace copy, and the
 	// runner reassembles outputs in input order.
 	Parallel int
+
+	// Fork selects the snapshot/fork execution strategy for the grids
+	// that support it (SeedSensitivity, WhatIfGrid): the shared warmup
+	// prefix is simulated once and every cell forks from the snapshot.
+	// Purely an execution strategy — results are byte-identical to the
+	// fresh strategy, enforced by the fork-vs-fresh equivalence suite.
+	Fork bool
 }
 
 // DefaultSeed keeps every published number reproducible.
@@ -402,7 +409,13 @@ type SeedRow struct {
 // SeedSensitivity reruns the paired comparison for one trace level across
 // several generation seeds, reporting each seed's reductions — a
 // robustness check that the headline result is not an artifact of one
-// random trace. Seeds fan out across cfg.Parallel workers.
+// random trace. Each seed's workload is a composite: the warmup prefix of
+// the base-seed trace (cfg.Seed, up to DefaultWarmupFrac of the window)
+// joined with the tail of the seed's own trace, so every cell shares an
+// identical prefix. With cfg.Fork that prefix is simulated once per chunk
+// and each cell forks from the snapshot; otherwise every cell runs its
+// composite from scratch. Both strategies produce byte-identical rows at
+// any cfg.Parallel width.
 func SeedSensitivity(cfg RunConfig, level int, seeds []int64) ([]SeedRow, error) {
 	if len(seeds) == 0 {
 		return nil, errors.New("experiments: no seeds")
@@ -410,18 +423,14 @@ func SeedSensitivity(cfg RunConfig, level int, seeds []int64) ([]SeedRow, error)
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return runner.Map(cfg.Parallel, seeds, func(_ int, seed int64) (SeedRow, error) {
-		c := cfg
-		c.Seed = seed
-		lr, err := runLevel(c, level)
-		if err != nil {
-			return SeedRow{}, fmt.Errorf("seed %d: %w", seed, err)
-		}
-		return SeedRow{
-			Seed:     seed,
-			Exec:     metrics.Reduction(lr.Base.TotalExec.Seconds(), lr.VR.TotalExec.Seconds()),
-			Queue:    metrics.Reduction(lr.Base.TotalQueue.Seconds(), lr.VR.TotalQueue.Seconds()),
-			Slowdown: metrics.Reduction(lr.Base.MeanSlowdown, lr.VR.MeanSlowdown),
-		}, nil
+	head, cells, at, err := seedComposites(cfg, level, seeds)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Fork {
+		return seedRowsForked(cfg, head, at, cells)
+	}
+	return runner.Map(cfg.Parallel, cells, func(_ int, cell seedCell) (SeedRow, error) {
+		return runSeedCellFresh(cfg, cell)
 	})
 }

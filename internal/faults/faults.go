@@ -257,6 +257,15 @@ type Injector struct {
 	domainRNG []*rand.Rand // per-domain crash-wave timing
 	partRNG   []*rand.Rand // per-domain partition timing
 
+	// Counting sources backing the streams above, in the same order, so a
+	// snapshot can record each stream's position and a restore can rewind
+	// it (see snapshot.go).
+	crashSrc  []*sim.CountingSource
+	dropSrc   []*sim.CountingSource
+	migSrc    *sim.CountingSource
+	domainSrc []*sim.CountingSource
+	partSrc   []*sim.CountingSource
+
 	downBy      []downOwner // per-node crash ownership
 	retired     []bool      // per-node retirement (removed from membership)
 	partitioned []bool      // per-domain partition state
@@ -272,15 +281,19 @@ type Injector struct {
 func (in *Injector) SetTracer(tr *obs.Tracer) { in.tr = tr }
 
 // stream derives an independent deterministic random stream from the plan
-// seed, a dimension salt, and a node index (SplitMix64-style mixing).
-func stream(seed int64, salt, id int) *rand.Rand {
+// seed, a dimension salt, and a node index (SplitMix64-style mixing). The
+// returned source counts its draws; the *rand.Rand wraps it as a plain
+// Source (not Source64), so the values are bit-identical to wrapping
+// rand.NewSource directly.
+func stream(seed int64, salt, id int) (*rand.Rand, *sim.CountingSource) {
 	x := uint64(seed) + uint64(salt+1)*0x9E3779B97F4A7C15 + uint64(id+1)*0xBF58476D1CE4E5B9
 	x ^= x >> 30
 	x *= 0xBF58476D1CE4E5B9
 	x ^= x >> 27
 	x *= 0x94D049BB133111EB
 	x ^= x >> 31
-	return rand.New(rand.NewSource(int64(x)))
+	src := sim.NewCountingSource(int64(x))
+	return rand.New(src), src
 }
 
 // NewInjector builds an injector for nodes workstations. Call Start to arm
@@ -301,21 +314,25 @@ func NewInjector(engine *sim.Engine, plan Plan, nodes int, hooks Hooks) (*Inject
 		hooks:    hooks,
 		crashRNG: make([]*rand.Rand, nodes),
 		dropRNG:  make([]*rand.Rand, nodes),
-		migRNG:   stream(plan.Seed, 2, 0),
+		crashSrc: make([]*sim.CountingSource, nodes),
+		dropSrc:  make([]*sim.CountingSource, nodes),
 		downBy:   make([]downOwner, nodes),
 		retired:  make([]bool, nodes),
 	}
+	in.migRNG, in.migSrc = stream(plan.Seed, 2, 0)
 	for i := 0; i < nodes; i++ {
-		in.crashRNG[i] = stream(plan.Seed, 0, i)
-		in.dropRNG[i] = stream(plan.Seed, 1, i)
+		in.crashRNG[i], in.crashSrc[i] = stream(plan.Seed, 0, i)
+		in.dropRNG[i], in.dropSrc[i] = stream(plan.Seed, 1, i)
 	}
 	if plan.Domains > 0 {
 		in.domainRNG = make([]*rand.Rand, plan.Domains)
 		in.partRNG = make([]*rand.Rand, plan.Domains)
+		in.domainSrc = make([]*sim.CountingSource, plan.Domains)
+		in.partSrc = make([]*sim.CountingSource, plan.Domains)
 		in.partitioned = make([]bool, plan.Domains)
 		for d := 0; d < plan.Domains; d++ {
-			in.domainRNG[d] = stream(plan.Seed, 3, d)
-			in.partRNG[d] = stream(plan.Seed, 4, d)
+			in.domainRNG[d], in.domainSrc[d] = stream(plan.Seed, 3, d)
+			in.partRNG[d], in.partSrc[d] = stream(plan.Seed, 4, d)
 		}
 	}
 	return in, nil
@@ -331,8 +348,12 @@ func (in *Injector) AddNode(id int) error {
 	if id != len(in.crashRNG) {
 		return fmt.Errorf("faults: node %d joined out of order (have %d)", id, len(in.crashRNG))
 	}
-	in.crashRNG = append(in.crashRNG, stream(in.plan.Seed, 0, id))
-	in.dropRNG = append(in.dropRNG, stream(in.plan.Seed, 1, id))
+	crashRNG, crashSrc := stream(in.plan.Seed, 0, id)
+	dropRNG, dropSrc := stream(in.plan.Seed, 1, id)
+	in.crashRNG = append(in.crashRNG, crashRNG)
+	in.dropRNG = append(in.dropRNG, dropRNG)
+	in.crashSrc = append(in.crashSrc, crashSrc)
+	in.dropSrc = append(in.dropSrc, dropSrc)
 	in.downBy = append(in.downBy, ownerNone)
 	in.retired = append(in.retired, false)
 	if in.started && in.plan.MTBF > 0 {

@@ -176,8 +176,12 @@ func (j *Job) Remaining() time.Duration {
 }
 
 // Progress reports the fraction of CPU demand served, in [0, 1].
-func (j *Job) Progress() float64 {
-	p := float64(j.cpuDone) / float64(j.CPUDemand)
+func (j *Job) Progress() float64 { return j.ProgressAt(j.cpuDone) }
+
+// ProgressAt reports the progress fraction at an arbitrary accumulated
+// service, with the same arithmetic as Progress.
+func (j *Job) ProgressAt(service time.Duration) float64 {
+	p := float64(service) / float64(j.CPUDemand)
 	if p > 1 {
 		return 1
 	}
@@ -211,7 +215,16 @@ func (j *Job) MemoryDemandMB() float64 {
 // re-evaluated. Nodes use this to skip the per-quantum demand refresh for
 // the (dominant) flat stretches of a job's memory profile.
 func (j *Job) DemandHorizon() (demandMB float64, horizon time.Duration) {
-	frac := j.Progress()
+	return j.DemandHorizonAt(j.cpuDone)
+}
+
+// DemandHorizonAt evaluates DemandHorizon as if the job had accumulated the
+// given CPU service, without mutating the job. Nodes use it to replay a
+// ramping job's future demand refreshes when batching quanta; the
+// arithmetic is identical to DemandHorizon's, so the replayed values are
+// bit-equal to what sequential ticks would have produced.
+func (j *Job) DemandHorizonAt(service time.Duration) (demandMB float64, horizon time.Duration) {
+	frac := j.ProgressAt(service)
 	demandMB = j.MemoryDemandAtMB(frac)
 	if frac <= 0 || j.CPUDemand <= 0 {
 		return demandMB, 0
@@ -435,6 +448,30 @@ func (j *Job) Account(cpu, page, queue time.Duration, now time.Duration) (done b
 	return false, nil
 }
 
+// AccountBatch charges k identical scheduling quanta in one step — the
+// closed form of k sequential Account calls with the same arguments, exact
+// because every accumulation is an integer sum. It must not cross the
+// completion boundary: the caller guarantees k*cpu leaves demand
+// outstanding (a quantum that completes the job needs Account's clamping
+// and completion handling).
+func (j *Job) AccountBatch(cpu, page, queue time.Duration, k int64) error {
+	if j.state != StateRunning {
+		return fmt.Errorf("job %d: account in state %v", j.ID, j.state)
+	}
+	if cpu < 0 || page < 0 || queue < 0 || k <= 0 {
+		return fmt.Errorf("job %d: bad batched accounting (%v, %v, %v) x %d", j.ID, cpu, page, queue, k)
+	}
+	kc := cpu * time.Duration(k)
+	if j.cpuDone+kc >= j.CPUDemand {
+		return fmt.Errorf("job %d: batched quanta cross the completion boundary", j.ID)
+	}
+	j.cpuDone += kc
+	j.acct.CPU += kc
+	j.acct.Page += page * time.Duration(k)
+	j.acct.Queue += queue * time.Duration(k)
+	return nil
+}
+
 // Breakdown returns the accumulated time decomposition.
 func (j *Job) Breakdown() Breakdown { return j.acct }
 
@@ -465,4 +502,47 @@ func (j *Job) Slowdown() (float64, error) {
 		return 0, err
 	}
 	return float64(w) / float64(j.acct.CPU), nil
+}
+
+// Snapshot captures the job's mutable lifecycle state for cluster forking.
+// The identity and demand profile (ID, Program, CPUDemand, Phases,
+// SubmitAt, I/O rate) are immutable after construction and shared.
+type Snapshot struct {
+	state     State
+	cpuDone   time.Duration
+	acct      Breakdown
+	startAt   time.Duration
+	doneAt    time.Duration
+	migrated  int
+	restarts  int
+	node      int
+	queueFrom time.Duration
+}
+
+// Snapshot captures the mutable state.
+func (j *Job) Snapshot() Snapshot {
+	return Snapshot{
+		state:     j.state,
+		cpuDone:   j.cpuDone,
+		acct:      j.acct,
+		startAt:   j.startAt,
+		doneAt:    j.doneAt,
+		migrated:  j.migrated,
+		restarts:  j.restarts,
+		node:      j.node,
+		queueFrom: j.queueFrom,
+	}
+}
+
+// Restore rewinds the job to a prior Snapshot.
+func (j *Job) Restore(s Snapshot) {
+	j.state = s.state
+	j.cpuDone = s.cpuDone
+	j.acct = s.acct
+	j.startAt = s.startAt
+	j.doneAt = s.doneAt
+	j.migrated = s.migrated
+	j.restarts = s.restarts
+	j.node = s.node
+	j.queueFrom = s.queueFrom
 }

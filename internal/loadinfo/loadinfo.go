@@ -498,12 +498,23 @@ func (b *Board) NotePlacement(id int, demandMB float64) error {
 // false when no node qualifies — the condition under which submissions and
 // migrations block.
 func (b *Board) BestDestination(demandMB float64, exclude map[int]bool) (int, bool) {
+	return b.bestDestination(demandMB, exclude, -1)
+}
+
+// BestDestinationExcluding is BestDestination with a single excluded node
+// ID (-1 for none) instead of a map — the common hot-path case (skip the
+// source), kept allocation-free.
+func (b *Board) BestDestinationExcluding(demandMB float64, excludeID int) (int, bool) {
+	return b.bestDestination(demandMB, nil, int32(excludeID))
+}
+
+func (b *Board) bestDestination(demandMB float64, exclude map[int]bool, excludeID int32) (int, bool) {
 	b.selects++
 	var best int32
 	if b.denseSelect {
-		best = b.scanRange(true, 0, b.n, demandMB, exclude)
+		best = b.scanRange(true, 0, b.n, demandMB, exclude, excludeID)
 	} else {
-		best = b.heapSelect(&b.destHeap, true, demandMB, exclude)
+		best = b.heapSelect(&b.destHeap, true, demandMB, exclude, excludeID)
 	}
 	if best < 0 {
 		return -1, false
@@ -520,12 +531,22 @@ func (b *Board) BestDestination(demandMB float64, exclude map[int]bool) (int, bo
 // capacity while accumulating free space the fastest. Returns false when
 // every node is reserved or excluded.
 func (b *Board) ReservationCandidate(exclude map[int]bool) (int, bool) {
+	return b.reservationCandidate(exclude, -1)
+}
+
+// ReservationCandidateExcluding is ReservationCandidate with a single
+// excluded node ID (-1 for none) instead of a map, kept allocation-free.
+func (b *Board) ReservationCandidateExcluding(excludeID int) (int, bool) {
+	return b.reservationCandidate(nil, int32(excludeID))
+}
+
+func (b *Board) reservationCandidate(exclude map[int]bool, excludeID int32) (int, bool) {
 	b.selects++
 	var best int32
 	if b.denseSelect {
-		best = b.scanRange(false, 0, b.n, math.Inf(-1), exclude)
+		best = b.scanRange(false, 0, b.n, math.Inf(-1), exclude, excludeID)
 	} else {
-		best = b.heapSelect(&b.resvHeap, false, math.Inf(-1), exclude)
+		best = b.heapSelect(&b.resvHeap, false, math.Inf(-1), exclude, excludeID)
 	}
 	if best < 0 {
 		return -1, false

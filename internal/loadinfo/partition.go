@@ -161,7 +161,7 @@ func (b *Board) recomputePartition(p int32) {
 // only) and exclude filters. It is both the whole-board fallback
 // (SetDenseSelect) and the per-partition scan heapSelect uses when a
 // partition's candidate is excluded.
-func (b *Board) scanRange(dest bool, lo, hi int, demandMB float64, exclude map[int]bool) int32 {
+func (b *Board) scanRange(dest bool, lo, hi int, demandMB float64, exclude map[int]bool, excludeID int32) int32 {
 	b.scanned += int64(hi - lo)
 	best := int32(-1)
 	for i := lo; i < hi; i++ {
@@ -176,7 +176,7 @@ func (b *Board) scanRange(dest bool, lo, hi int, demandMB float64, exclude map[i
 		} else if fl&flagIneligible != 0 {
 			continue
 		}
-		if len(exclude) > 0 && exclude[int(b.nodeID[i])] {
+		if b.nodeID[i] == excludeID || (len(exclude) > 0 && exclude[int(b.nodeID[i])]) {
 			continue
 		}
 		if best < 0 || b.betterEntry(int32(i), best) {
@@ -193,7 +193,7 @@ func (b *Board) scanRange(dest bool, lo, hi int, demandMB float64, exclude map[i
 // no more idle memory), and an excluded top falls back to a dense scan of
 // just that partition before moving to the next — partitions popped this
 // way are pushed back before returning, so queries leave the heap intact.
-func (b *Board) heapSelect(h *pheap, dest bool, demandMB float64, exclude map[int]bool) int32 {
+func (b *Board) heapSelect(h *pheap, dest bool, demandMB float64, exclude map[int]bool, excludeID int32) int32 {
 	best := int32(-1)
 	popped := b.popped[:0]
 	for len(h.items) > 0 {
@@ -203,7 +203,7 @@ func (b *Board) heapSelect(h *pheap, dest bool, demandMB float64, exclude map[in
 		if c < 0 || (dest && b.idleMB[c] < demandMB) {
 			break
 		}
-		if len(exclude) == 0 || !exclude[int(b.nodeID[c])] {
+		if b.nodeID[c] != excludeID && (len(exclude) == 0 || !exclude[int(b.nodeID[c])]) {
 			if best < 0 || b.betterEntry(c, best) {
 				best = c
 			}
@@ -211,7 +211,7 @@ func (b *Board) heapSelect(h *pheap, dest bool, demandMB float64, exclude map[in
 		}
 		lo := int(p) * PartitionSize
 		hi := min(lo+PartitionSize, b.n)
-		if s := b.scanRange(dest, lo, hi, demandMB, exclude); s >= 0 {
+		if s := b.scanRange(dest, lo, hi, demandMB, exclude, excludeID); s >= 0 {
 			if best < 0 || b.betterEntry(s, best) {
 				best = s
 			}

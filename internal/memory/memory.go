@@ -81,9 +81,19 @@ func (c *Config) Validate() error {
 }
 
 // Manager tracks the demands of the jobs resident on one workstation.
+// demandEntry is one registered job's demand. The registry is a small
+// linear-scan slice rather than a map: a workstation hosts at most its
+// CPU-threshold jobs (single digits), and the per-quantum demand refresh
+// of ramping jobs makes Update one of the simulator's hottest paths —
+// scanning a handful of integers beats hashing at every call.
+type demandEntry struct {
+	id int
+	mb float64
+}
+
 type Manager struct {
 	cfg     Config
-	demands map[int]float64
+	demands []demandEntry
 	total   float64
 
 	// remoteService, when positive, overrides the disk fault service
@@ -99,7 +109,7 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Manager{cfg: cfg, demands: make(map[int]float64)}, nil
+	return &Manager{cfg: cfg}, nil
 }
 
 // Config returns the validated configuration.
@@ -114,12 +124,22 @@ func (m *Manager) Register(jobID int, demandMB float64) error {
 	if demandMB < 0 {
 		return fmt.Errorf("memory: job %d negative demand %v", jobID, demandMB)
 	}
-	if _, ok := m.demands[jobID]; ok {
+	if m.find(jobID) >= 0 {
 		return fmt.Errorf("memory: job %d already registered", jobID)
 	}
-	m.demands[jobID] = demandMB
+	m.demands = append(m.demands, demandEntry{id: jobID, mb: demandMB})
 	m.total += demandMB
 	return nil
+}
+
+// find returns the registry index of jobID, or -1.
+func (m *Manager) find(jobID int) int {
+	for i := range m.demands {
+		if m.demands[i].id == jobID {
+			return i
+		}
+	}
+	return -1
 }
 
 // Update revises a registered job's demand.
@@ -127,11 +147,12 @@ func (m *Manager) Update(jobID int, demandMB float64) error {
 	if demandMB < 0 {
 		return fmt.Errorf("memory: job %d negative demand %v", jobID, demandMB)
 	}
-	old, ok := m.demands[jobID]
-	if !ok {
+	i := m.find(jobID)
+	if i < 0 {
 		return fmt.Errorf("memory: job %d not registered", jobID)
 	}
-	m.demands[jobID] = demandMB
+	old := m.demands[i].mb
+	m.demands[i].mb = demandMB
 	m.total += demandMB - old
 	if m.total < 0 {
 		m.total = 0
@@ -139,14 +160,38 @@ func (m *Manager) Update(jobID int, demandMB float64) error {
 	return nil
 }
 
+// ReplayDemands installs per-job demand values together with the demand
+// total produced by an exact add-by-add replay of the sequential Updates
+// they stand in for (the node's batched-quantum fast path). The total is
+// taken as given rather than recomputed from the demands: float addition
+// is non-associative, so only the caller's replayed accumulation matches
+// the value a sequence of Updates would have left behind.
+func (m *Manager) ReplayDemands(ids []int, demands []float64, total float64) error {
+	if len(ids) != len(demands) {
+		return fmt.Errorf("memory: replay of %d ids with %d demands", len(ids), len(demands))
+	}
+	for k, id := range ids {
+		i := m.find(id)
+		if i < 0 {
+			return fmt.Errorf("memory: job %d not registered", id)
+		}
+		m.demands[i].mb = demands[k]
+	}
+	if total < 0 {
+		total = 0
+	}
+	m.total = total
+	return nil
+}
+
 // Remove drops a job's demand (completion or migration away).
 func (m *Manager) Remove(jobID int) error {
-	old, ok := m.demands[jobID]
-	if !ok {
+	i := m.find(jobID)
+	if i < 0 {
 		return fmt.Errorf("memory: job %d not registered", jobID)
 	}
-	delete(m.demands, jobID)
-	m.total -= old
+	m.total -= m.demands[i].mb
+	m.demands = append(m.demands[:i], m.demands[i+1:]...)
 	if m.total < 0 {
 		m.total = 0
 	}
@@ -233,6 +278,30 @@ func (m *Manager) faultService() time.Duration {
 		return m.remoteService
 	}
 	return m.cfg.FaultService
+}
+
+// Snapshot captures the manager's mutable state (per-job demands, the
+// demand total, and the network-RAM override) for cluster forking.
+type Snapshot struct {
+	demands       []demandEntry
+	total         float64
+	remoteService time.Duration
+}
+
+// Snapshot captures the mutable state.
+func (m *Manager) Snapshot() Snapshot {
+	return Snapshot{
+		demands:       append([]demandEntry(nil), m.demands...),
+		total:         m.total,
+		remoteService: m.remoteService,
+	}
+}
+
+// Restore rewinds the manager to a prior Snapshot, reusing live capacity.
+func (m *Manager) Restore(s Snapshot) {
+	m.demands = append(m.demands[:0], s.demands...)
+	m.total = s.total
+	m.remoteService = s.remoteService
 }
 
 // SoloStallPerCPUSecond reports the stall a single job of the given demand

@@ -31,6 +31,7 @@ type Sample struct {
 type Collector struct {
 	interval time.Duration
 	samples  []Sample
+	scratch  []float64 // Observe's per-sample job-count buffer, reused across ticks
 
 	// Event counters maintained by the cluster and policies.
 	BlockingEpisodes  int
@@ -87,7 +88,7 @@ func (c *Collector) Interval() time.Duration { return c.interval }
 func (c *Collector) Observe(now time.Duration, nodes []*node.Node, pending int) {
 	idle := 0.0
 	running, reserved := 0, 0
-	var counts []float64
+	counts := c.scratch[:0]
 	for _, n := range nodes {
 		if n.Removed() {
 			continue
@@ -108,6 +109,41 @@ func (c *Collector) Observe(now time.Duration, nodes []*node.Node, pending int) 
 		Pending:  pending,
 		Reserved: reserved,
 	})
+	c.scratch = counts[:0]
+}
+
+// Snapshot captures the collector's counters and sample series for cluster
+// forking.
+type CollectorSnapshot struct {
+	state   Collector // shallow copy carrying every counter field
+	samples []Sample
+}
+
+// Snapshot captures the collector's state.
+func (c *Collector) Snapshot() *CollectorSnapshot {
+	return &CollectorSnapshot{
+		state:   *c,
+		samples: append([]Sample(nil), c.samples...),
+	}
+}
+
+// Restore rewinds the collector to a prior Snapshot, reusing the live
+// sample slice's capacity.
+func (c *Collector) Restore(s *CollectorSnapshot) {
+	samples, scratch := c.samples, c.scratch
+	*c = s.state
+	c.samples = append(samples[:0], s.samples...)
+	c.scratch = scratch
+}
+
+// Clone returns an independent deep copy. Forked runs freeze their result
+// against a clone so the shared live collector can be rewound and reused
+// without mutating earlier results.
+func (c *Collector) Clone() *Collector {
+	out := *c
+	out.samples = append([]Sample(nil), c.samples...)
+	out.scratch = nil
+	return &out
 }
 
 // WriteCSV emits the sample series as CSV with a header row, for external

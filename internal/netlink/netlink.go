@@ -181,6 +181,56 @@ func (l *Link) completeDue() {
 	l.reschedule()
 }
 
+// Snapshot captures the link's mutable state for cluster forking. Each
+// in-flight transfer is stored as its live pointer plus a value copy: the
+// done closures captured cluster-side objects that the cluster rewinds in
+// place, so Restore writes the saved value back through the pointer and
+// re-registers it, keeping those closures valid. Transfers started after
+// the snapshot simply drop out of the rebuilt map.
+type Snapshot struct {
+	transfers  []savedTransfer
+	seq        int
+	lastSettle time.Duration
+	nextEvent  sim.Handle
+	hasEvent   bool
+}
+
+type savedTransfer struct {
+	ptr   *transfer
+	value transfer
+}
+
+// Snapshot captures the mutable state.
+func (l *Link) Snapshot() *Snapshot {
+	s := &Snapshot{
+		transfers:  make([]savedTransfer, 0, len(l.active)),
+		seq:        l.seq,
+		lastSettle: l.lastSettle,
+		nextEvent:  l.nextEvent,
+		hasEvent:   l.hasEvent,
+	}
+	for _, id := range l.sortedIDs() {
+		t := l.active[id]
+		s.transfers = append(s.transfers, savedTransfer{ptr: t, value: *t})
+	}
+	return s
+}
+
+// Restore rewinds the link to a prior Snapshot. The pending completion
+// event handle is not re-armed here — the engine restore revives the slot
+// it points at.
+func (l *Link) Restore(s *Snapshot) {
+	clear(l.active)
+	for _, st := range s.transfers {
+		*st.ptr = st.value
+		l.active[st.value.id] = st.ptr
+	}
+	l.seq = s.seq
+	l.lastSettle = s.lastSettle
+	l.nextEvent = s.nextEvent
+	l.hasEvent = s.hasEvent
+}
+
 // sortedIDs returns the active transfer IDs in start order.
 func (l *Link) sortedIDs() []int {
 	ids := make([]int, 0, len(l.active))

@@ -146,6 +146,24 @@ type Node struct {
 	faults       float64 // cumulative page-fault count
 	cpuDelivered time.Duration
 	ioStall      time.Duration // cumulative buffer-cache-miss stall
+
+	// Batched-quantum plan scratch, valid only between a PlanQuanta and
+	// the matching ApplyQuanta within one engine event. It is derived
+	// state that never survives an event boundary, so it is deliberately
+	// excluded from Snapshot/Restore.
+	planNow   time.Duration
+	planDt    time.Duration
+	planK     int64
+	planCPU   []time.Duration
+	planPage  []time.Duration
+	planQueue []time.Duration
+	planIO    []time.Duration
+
+	// Ramp-replay scratch for TickRampBatch, same lifetime and
+	// Snapshot/Restore exclusion as the plan scratch above.
+	rampDemand []float64
+	rampFlat   []time.Duration
+	rampIDs    []int
 }
 
 // New constructs a workstation.
@@ -638,6 +656,91 @@ func (n *Node) MostMemoryIntensiveJob() *job.Job {
 	return best
 }
 
+// Snapshot captures the workstation's complete mutable state for cluster
+// forking: flags, resident jobs (the pointers; job state is snapshotted
+// separately by the cluster), per-job accounting baselines, demand caches,
+// migration holds, the memory manager, and cumulative counters.
+type Snapshot struct {
+	mem          memory.Snapshot
+	jobs         []*job.Job
+	reserved     bool
+	down         bool
+	draining     bool
+	removed      bool
+	reservedJobs map[int]bool
+	covered      []time.Duration
+	demand       []float64
+	flatUntil    []time.Duration
+	ioActive     int
+	lastPressure bool
+	incoming     map[int]float64
+	faults       float64
+	cpuDelivered time.Duration
+	ioStall      time.Duration
+}
+
+// Snapshot captures the node's mutable state.
+func (n *Node) Snapshot() Snapshot {
+	s := Snapshot{
+		mem:          n.mem.Snapshot(),
+		jobs:         append([]*job.Job(nil), n.jobs...),
+		reserved:     n.reserved,
+		down:         n.down,
+		draining:     n.draining,
+		removed:      n.removed,
+		covered:      append([]time.Duration(nil), n.covered...),
+		demand:       append([]float64(nil), n.demand...),
+		flatUntil:    append([]time.Duration(nil), n.flatUntil...),
+		ioActive:     n.ioActive,
+		lastPressure: n.lastPressured,
+		faults:       n.faults,
+		cpuDelivered: n.cpuDelivered,
+		ioStall:      n.ioStall,
+	}
+	if len(n.reservedJobs) > 0 {
+		s.reservedJobs = make(map[int]bool, len(n.reservedJobs))
+		for id := range n.reservedJobs {
+			s.reservedJobs[id] = true
+		}
+	}
+	if len(n.incoming) > 0 {
+		s.incoming = make(map[int]float64, len(n.incoming))
+		for id, d := range n.incoming {
+			s.incoming[id] = d
+		}
+	}
+	return s
+}
+
+// Restore rewinds the node to a prior Snapshot, reusing live capacity. It
+// deliberately does not invoke the residency or pressure watchers: the
+// cluster restores its activity and pressure bitmasks wholesale alongside
+// the nodes.
+func (n *Node) Restore(s Snapshot) {
+	n.mem.Restore(s.mem)
+	n.jobs = append(n.jobs[:0], s.jobs...)
+	n.covered = append(n.covered[:0], s.covered...)
+	n.demand = append(n.demand[:0], s.demand...)
+	n.flatUntil = append(n.flatUntil[:0], s.flatUntil...)
+	n.reserved = s.reserved
+	n.down = s.down
+	n.draining = s.draining
+	n.removed = s.removed
+	n.ioActive = s.ioActive
+	n.lastPressured = s.lastPressure
+	n.faults = s.faults
+	n.cpuDelivered = s.cpuDelivered
+	n.ioStall = s.ioStall
+	clear(n.reservedJobs)
+	for id := range s.reservedJobs {
+		n.reservedJobs[id] = true
+	}
+	clear(n.incoming)
+	for id, d := range s.incoming {
+		n.incoming[id] = d
+	}
+}
+
 // Tick advances the workstation by one scheduling quantum dt ending at
 // virtual time now. Runnable jobs share the CPU round-robin: each receives
 // an equal share of the quantum, loses context-switch overhead when
@@ -790,4 +893,293 @@ func (n *Node) Tick(dt time.Duration, now time.Duration) ([]*job.Job, error) {
 	// either direction; one transition check covers the whole tick.
 	n.notifyPressure()
 	return done, nil
+}
+
+// CompletionFloor reports a stretch length k ≤ kMax during which no
+// resident job can possibly complete, whatever the memory pressure does
+// meanwhile: per-tick CPU progress is bounded by the full execution share
+// converted at zero stall, so (remaining-1)/maxCPU ticks are provably
+// non-final. The cluster uses the cluster-wide minimum as the window
+// within which quantum ticks cannot trigger scheduler callbacks.
+func (n *Node) CompletionFloor(dt time.Duration, kMax int64) int64 {
+	count := len(n.jobs)
+	if count == 0 || dt <= 0 {
+		return kMax
+	}
+	share := dt / time.Duration(count)
+	overhead := time.Duration(0)
+	if count > 1 {
+		overhead = n.cfg.ContextSwitch
+	}
+	exec := share - overhead
+	if exec <= 0 {
+		return kMax // no CPU progress possible, so no completions either
+	}
+	maxCPU := time.Duration(exec.Seconds()*n.SpeedFactor()*float64(time.Second)) + 1
+	k := kMax
+	for _, j := range n.jobs {
+		if kj := int64((j.Remaining() - 1) / maxCPU); kj < k {
+			k = kj
+		}
+	}
+	return k
+}
+
+// PlanQuanta reports how many consecutive quantum ticks, starting with the
+// tick due at now, can be collapsed into one closed-form accounting pass —
+// at most kMax. A stretch is collapsible only while every per-tick
+// computation is provably identical: all jobs fully resident (no partial
+// first quantum), no job reaching completion, and no job crossing its
+// flat-memory-phase horizon (which would trigger a demand refresh). The
+// per-job quantities are cached on the node for the matching ApplyQuanta;
+// a return of 0 or 1 means the caller must take a normal Tick.
+func (n *Node) PlanQuanta(dt, now time.Duration, kMax int64) int64 {
+	n.planK = 0
+	count := len(n.jobs)
+	if count == 0 || dt <= 0 || kMax < 2 {
+		return 0
+	}
+	lo := now - dt
+	for _, from := range n.covered {
+		if from > lo {
+			return 0 // admitted mid-quantum: its first tick credits partial residency
+		}
+	}
+
+	// Identical to Tick's hoisted invariants: nothing below mutates the
+	// memory manager, so these stay constant across the whole stretch.
+	share := dt / time.Duration(count)
+	overhead := time.Duration(0)
+	if count > 1 {
+		overhead = n.cfg.ContextSwitch
+	}
+	exec := share - overhead
+	if exec < 0 {
+		exec = 0
+	}
+	v := n.SpeedFactor()
+	stall := n.mem.StallPerCPUSecond()
+	cacheMiss := 1 - n.CacheAvailability()
+	execSec := exec.Seconds()
+	denomBase := 1/v + stall
+
+	n.planCPU = append(n.planCPU[:0], make([]time.Duration, count)...)
+	n.planPage = append(n.planPage[:0], make([]time.Duration, count)...)
+	n.planQueue = append(n.planQueue[:0], make([]time.Duration, count)...)
+	n.planIO = append(n.planIO[:0], make([]time.Duration, count)...)
+
+	k := kMax
+	for i, j := range n.jobs {
+		ioStall := 0.0
+		if rate := j.IORate(); rate > 0 && cacheMiss > 0 && n.cfg.DiskMBps > 0 {
+			ioStall = rate / n.cfg.DiskMBps * cacheMiss
+		}
+		cpuSec := execSec
+		if denom := denomBase + ioStall; denom != 1 {
+			cpuSec = execSec / denom
+		}
+		cpu := time.Duration(cpuSec * float64(time.Second))
+		if cpu > 0 {
+			// Completion bound: all k ticks must leave demand outstanding.
+			if kj := int64((j.Remaining() - 1) / cpu); kj < k {
+				k = kj
+			}
+			// Horizon bound: accumulated service must stay at or below the
+			// flat-phase horizon, or a tick would refresh the demand.
+			flat := n.flatUntil[i] - j.CPUDone()
+			if flat < 0 {
+				return 0
+			}
+			if kj := int64(flat / cpu); kj < k {
+				k = kj
+			}
+			if k < 2 {
+				return 0
+			}
+		}
+		computeWall := cpu
+		if v != 1 {
+			computeWall = time.Duration(float64(cpu) / v)
+		}
+		page := time.Duration(0)
+		if ps := stall + ioStall; ps != 0 {
+			page = time.Duration(float64(cpu) * ps)
+		}
+		queue := dt - computeWall - page
+		if queue < 0 {
+			queue = 0
+		}
+		n.planCPU[i] = cpu
+		n.planPage[i] = page
+		n.planQueue[i] = queue
+		if ioStall != 0 {
+			n.planIO[i] = time.Duration(float64(cpu) * ioStall)
+		}
+	}
+	n.planNow, n.planDt, n.planK = now, dt, k
+	return k
+}
+
+// ApplyQuanta charges k quanta planned by PlanQuanta in one pass,
+// bit-identical to k sequential Ticks over the same stretch: every
+// accumulator is either an exact integer fold (job accounting, delivered
+// CPU, I/O stall) or replayed add-by-add in tick order (the page-fault
+// float accumulation). k may be smaller than planned — the per-tick
+// quantities do not depend on it — but never larger.
+func (n *Node) ApplyQuanta(dt, now time.Duration, k int64) error {
+	if k < 2 || k > n.planK || dt != n.planDt || now != n.planNow {
+		return fmt.Errorf("node %d: apply of %d quanta without a matching plan", n.cfg.ID, k)
+	}
+	n.planK = 0
+	last := now + time.Duration(k-1)*dt
+	rate := 0.0
+	if n.mem.Pressured() {
+		rate = n.mem.FaultRate()
+	}
+	for i, j := range n.jobs {
+		cpu := n.planCPU[i]
+		if err := j.AccountBatch(cpu, n.planPage[i], n.planQueue[i], k); err != nil {
+			return err
+		}
+		n.covered[i] = last
+		n.cpuDelivered += cpu * time.Duration(k)
+		if io := n.planIO[i]; io != 0 {
+			n.ioStall += io * time.Duration(k)
+		}
+	}
+	if rate != 0 {
+		// Tick accrues faults with one float add per job per quantum;
+		// replay the same add sequence so the sum is bit-identical.
+		for t := int64(0); t < k; t++ {
+			for _, cpu := range n.planCPU {
+				n.faults += float64(cpu) / float64(time.Second) * rate
+			}
+		}
+	}
+	n.notifyPressure()
+	return nil
+}
+
+// TickRampBatch advances k quanta in one pass on a node whose only
+// per-tick variation is ramping memory demand. Preconditions (checked
+// here): zero paging stall, no I/O-active jobs, full residency, and no
+// completion within the stretch — then every tick's CPU arithmetic is the
+// same constant expression and only the demand bookkeeping evolves. That
+// evolution is replayed on scratch state in the exact per-tick,
+// per-job order Tick would use — including the running demand total's
+// add-by-add float accumulation — so the committed values are
+// bit-identical to k sequential Ticks. If the replay would ever cross
+// into memory pressure (which changes the next tick's stall and accrues
+// page faults), the node is left untouched and the method reports false
+// so the caller falls back to ordinary ticks.
+func (n *Node) TickRampBatch(dt, now time.Duration, k int64) (bool, error) {
+	count := len(n.jobs)
+	if count == 0 || dt <= 0 || k < 2 || n.ioActive > 0 {
+		return false, nil
+	}
+	stall := n.mem.StallPerCPUSecond()
+	if stall != 0 {
+		return false, nil
+	}
+	lo := now - dt
+	for _, from := range n.covered {
+		if from > lo {
+			return false, nil // admitted mid-quantum: first tick credits partial residency
+		}
+	}
+
+	// With zero stall and no I/O-active jobs, Tick's per-job pipeline
+	// collapses to one shared value chain: ioStall == 0 for every job, so
+	// cpu, computeWall, and queue are job-independent. page stays exactly
+	// zero (Tick skips the multiply when stall+ioStall == 0).
+	share := dt / time.Duration(count)
+	overhead := time.Duration(0)
+	if count > 1 {
+		overhead = n.cfg.ContextSwitch
+	}
+	exec := share - overhead
+	if exec < 0 {
+		exec = 0
+	}
+	v := n.SpeedFactor()
+	cpuSec := exec.Seconds()
+	if denom := 1/v + stall; denom != 1 {
+		cpuSec = cpuSec / denom
+	}
+	cpu := time.Duration(cpuSec * float64(time.Second))
+	if cpu > 0 {
+		for _, j := range n.jobs {
+			// The caller's completion floor should already guarantee
+			// this; re-check so Tick's cpu-clamp branch provably never
+			// fires inside the stretch.
+			if int64((j.Remaining()-1)/cpu) < k {
+				return false, nil
+			}
+		}
+	}
+	computeWall := cpu
+	if v != 1 {
+		computeWall = time.Duration(float64(cpu) / v)
+	}
+	queue := dt - computeWall
+	if queue < 0 {
+		queue = 0
+	}
+
+	// Replay the demand evolution on scratch. Tick's order per quantum is:
+	// for each job — account cpu, check Pressured (fault accrual), then
+	// refresh demand past the flat horizon. The pressure check for job i
+	// therefore sees the total after jobs 0..i-1 updated this tick; the
+	// replay compares at exactly those points and bails on any crossing.
+	user := n.mem.UserMB()
+	total := n.mem.DemandMB()
+	n.rampDemand = append(n.rampDemand[:0], n.demand...)
+	n.rampFlat = append(n.rampFlat[:0], n.flatUntil...)
+	changed := false
+	for t := int64(1); t <= k; t++ {
+		adv := time.Duration(t) * cpu
+		for i, j := range n.jobs {
+			if total > user {
+				return false, nil
+			}
+			if done := j.CPUDone() + adv; done > n.rampFlat[i] {
+				d, horizon := j.DemandHorizonAt(done)
+				if d != n.rampDemand[i] {
+					total += d - n.rampDemand[i]
+					if total < 0 {
+						total = 0 // Update's clamp, replayed
+					}
+					n.rampDemand[i] = d
+					changed = true
+				}
+				n.rampFlat[i] = horizon
+			}
+		}
+	}
+
+	// Commit: integer accounting folds exactly; demand state and the
+	// replayed total land as sequential ticks would have left them. A
+	// pressure crossing caused by the very last update is notified here,
+	// just as the final Tick's notifyPressure would have.
+	last := now + time.Duration(k-1)*dt
+	for i, j := range n.jobs {
+		if err := j.AccountBatch(cpu, 0, queue, k); err != nil {
+			return false, err
+		}
+		n.covered[i] = last
+		n.cpuDelivered += cpu * time.Duration(k)
+	}
+	if changed {
+		n.rampIDs = n.rampIDs[:0]
+		for _, j := range n.jobs {
+			n.rampIDs = append(n.rampIDs, j.ID)
+		}
+		if err := n.mem.ReplayDemands(n.rampIDs, n.rampDemand, total); err != nil {
+			return false, err
+		}
+	}
+	copy(n.demand, n.rampDemand)
+	copy(n.flatUntil, n.rampFlat)
+	n.notifyPressure()
+	return true, nil
 }

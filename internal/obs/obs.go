@@ -252,6 +252,52 @@ func (t *Tracer) Events() []Event {
 	return out
 }
 
+// TracerSnapshot captures a sink's retained events and ring position for
+// cluster forking.
+type TracerSnapshot struct {
+	events  []Event
+	start   int
+	dropped uint64
+}
+
+// Snapshot captures the tracer's state (a deep copy of the buffer). Nil
+// tracers snapshot to nil.
+func (t *Tracer) Snapshot() *TracerSnapshot {
+	if t == nil {
+		return nil
+	}
+	return &TracerSnapshot{
+		events:  append([]Event(nil), t.buf...),
+		start:   t.start,
+		dropped: t.dropped,
+	}
+}
+
+// Restore rewinds the tracer to a prior Snapshot. The buffer is rebuilt on
+// a fresh backing array — never by truncating the live one — so event
+// slices exported by an earlier fork (and any JSONL writer still holding
+// them) are immune to appends from the next fork: forked runs get
+// independent sinks even though they share the Tracer object.
+func (t *Tracer) Restore(s *TracerSnapshot) {
+	if t == nil || s == nil {
+		return
+	}
+	grow := 0
+	if t.cap <= 0 {
+		grow = 1024 // headroom so the next fork's first emissions don't reallocate
+	}
+	buf := make([]Event, len(s.events), len(s.events)+grow)
+	copy(buf, s.events)
+	if t.cap > 0 && cap(buf) < t.cap {
+		bounded := make([]Event, len(buf), t.cap)
+		copy(bounded, buf)
+		buf = bounded
+	}
+	t.buf = buf
+	t.start = s.start
+	t.dropped = s.dropped
+}
+
 // Span is one duration interval reconstructed from paired events: a
 // blocking episode (Node = -1) or a reservation's hold on a workstation.
 type Span struct {

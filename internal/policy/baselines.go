@@ -148,6 +148,37 @@ func (s *Suspension) OnJobDone(c *cluster.Cluster, n *node.Node, j *job.Job) {
 // SuspendedCount reports jobs currently frozen by suspension.
 func (s *Suspension) SuspendedCount() int { return len(s.suspended) }
 
+// suspensionState is the policy's mutable state for cluster forking. The
+// suspended jobs themselves are rewound in place by the cluster; the
+// snapshot records which jobs were frozen and since when.
+type suspensionState struct {
+	gls       any
+	suspended []suspendedJob
+}
+
+// SnapshotState captures the policy's mutable state for cluster forking.
+func (s *Suspension) SnapshotState() any {
+	st := &suspensionState{
+		gls:       s.gls.SnapshotState(),
+		suspended: make([]suspendedJob, len(s.suspended)),
+	}
+	for i, sj := range s.suspended {
+		st.suspended[i] = *sj
+	}
+	return st
+}
+
+// RestoreState rewinds the policy to a state from SnapshotState.
+func (s *Suspension) RestoreState(state any) {
+	st := state.(*suspensionState)
+	s.gls.RestoreState(st.gls)
+	s.suspended = s.suspended[:0]
+	for i := range st.suspended {
+		sj := st.suspended[i]
+		s.suspended = append(s.suspended, &sj)
+	}
+}
+
 func (s *Suspension) onBlocked(c *cluster.Cluster, now time.Duration, src *node.Node, victim *job.Job) {
 	if victim.State() != job.StateRunning {
 		return

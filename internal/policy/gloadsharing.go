@@ -124,7 +124,7 @@ func (g *GLoadSharing) Place(c *cluster.Cluster, j *job.Job, home int) (int, boo
 			return home, false, true
 		}
 	}
-	if id, ok := board.BestDestination(need, map[int]bool{home: true}); ok {
+	if id, ok := board.BestDestinationExcluding(need, home); ok {
 		return id, true, true
 	}
 	return -1, false, false
@@ -157,7 +157,7 @@ func (g *GLoadSharing) OnControl(c *cluster.Cluster, now time.Duration) {
 			if victim == nil {
 				break
 			}
-			id, ok := board.BestDestination(victim.MemoryDemandMB(), map[int]bool{n.ID(): true})
+			id, ok := board.BestDestinationExcluding(victim.MemoryDemandMB(), n.ID())
 			if !ok {
 				c.Collector().BlockingEpisodes++
 				if g.OnBlocked != nil {
@@ -193,5 +193,29 @@ func (g *GLoadSharing) migratable(n *node.Node) *job.Job {
 func (g *GLoadSharing) OnJobDone(c *cluster.Cluster, n *node.Node, j *job.Job) {
 	if g.OnDone != nil {
 		g.OnDone(c, n, j)
+	}
+}
+
+// glsState is the policy's mutable state for cluster forking.
+type glsState struct {
+	lastMigration map[int]time.Duration
+}
+
+// SnapshotState captures the policy's mutable state (the per-node
+// migration cooldown clocks) for cluster forking.
+func (g *GLoadSharing) SnapshotState() any {
+	lm := make(map[int]time.Duration, len(g.lastMigration))
+	for id, t := range g.lastMigration {
+		lm[id] = t
+	}
+	return &glsState{lastMigration: lm}
+}
+
+// RestoreState rewinds the policy to a state from SnapshotState.
+func (g *GLoadSharing) RestoreState(state any) {
+	s := state.(*glsState)
+	clear(g.lastMigration)
+	for id, t := range s.lastMigration {
+		g.lastMigration[id] = t
 	}
 }

@@ -36,18 +36,43 @@ type eventSlot struct {
 	gen uint32
 }
 
-// heapEntry is a by-value queue element; at/seq give the deterministic
-// (time, FIFO) order, slot/gen locate the callback and detect staleness.
+// Event classes order same-instant events independently of scheduling
+// sequence. Within one instant, all ClassArrival events run before all
+// ClassNormal events, which run before all ClassDiverge events; within a
+// class, scheduling order (seq) still breaks ties. Classes exist so that a
+// forked run — whose runtime events carry different absolute sequence
+// numbers than a fresh run's — reproduces the fresh run's same-instant
+// ordering exactly: trace arrivals always beat runtime machinery, and a
+// divergence-point mutation always runs after every same-instant event of
+// the shared prefix.
+const (
+	// ClassArrival is reserved for trace job arrivals (and arrivals
+	// injected into a forked run at its divergence point).
+	ClassArrival uint8 = 0
+	// ClassNormal is every ordinary event; Schedule and After use it.
+	ClassNormal uint8 = 1
+	// ClassDiverge runs after all same-instant activity; RunToDivergence
+	// stops just before events of this class at the divergence time.
+	ClassDiverge uint8 = 2
+)
+
+// heapEntry is a by-value queue element; at/class/seq give the
+// deterministic (time, class, FIFO) order, slot/gen locate the callback
+// and detect staleness.
 type heapEntry struct {
-	at   time.Duration
-	seq  uint64
-	slot int32
-	gen  uint32
+	at    time.Duration
+	seq   uint64
+	slot  int32
+	gen   uint32
+	class uint8
 }
 
 func entryLess(a, b heapEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.class != b.class {
+		return a.class < b.class
 	}
 	return a.seq < b.seq
 }
@@ -62,6 +87,7 @@ type Engine struct {
 	free    []int32
 	seq     uint64
 	live    int
+	src     *CountingSource
 	rng     *rand.Rand
 	stopped bool
 }
@@ -69,7 +95,8 @@ type Engine struct {
 // NewEngine returns an engine with its clock at zero and a random source
 // seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	src := NewCountingSource(seed)
+	return &Engine{src: src, rng: rand.New(src)}
 }
 
 // Now reports the current virtual time.
@@ -85,6 +112,13 @@ func (e *Engine) Len() int { return e.live }
 // same instant run in scheduling order. Scheduling in the past returns
 // ErrClockRegression.
 func (e *Engine) Schedule(at time.Duration, fn func()) (Handle, error) {
+	return e.ScheduleClass(at, ClassNormal, fn)
+}
+
+// ScheduleClass runs fn at absolute virtual time at within the given
+// ordering class; same-instant events run in (class, scheduling) order.
+// Scheduling in the past returns ErrClockRegression.
+func (e *Engine) ScheduleClass(at time.Duration, class uint8, fn func()) (Handle, error) {
 	if at < e.now {
 		return Handle{}, ErrClockRegression
 	}
@@ -99,7 +133,7 @@ func (e *Engine) Schedule(at time.Duration, fn func()) (Handle, error) {
 	}
 	s := &e.slots[idx]
 	s.fn = fn
-	e.push(heapEntry{at: at, seq: e.seq, slot: idx, gen: s.gen})
+	e.push(heapEntry{at: at, seq: e.seq, slot: idx, gen: s.gen, class: class})
 	e.live++
 	return Handle{slot: idx + 1, gen: s.gen}, nil
 }
@@ -183,6 +217,40 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 	}
 }
 
+// RunToDivergence executes events up to virtual time at — including every
+// same-instant event of class below ClassDiverge — then advances the clock
+// to at, leaving ClassDiverge events at that instant (and everything
+// later) pending. It is the warmup half of a snapshot/fork: the engine
+// lands on exactly the state a fresh run has when its divergence-class
+// event at at fires. A sticky stop is honored as in Run.
+func (e *Engine) RunToDivergence(at time.Duration) {
+	for !e.stopped {
+		top, ok := e.peekEntry()
+		if !ok || top.at > at || (top.at == at && top.class >= ClassDiverge) {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && e.now < at {
+		e.now = at
+	}
+}
+
+// AdvanceTo moves the clock forward to t without running anything. It is
+// the batching primitive for drivers that interleave fixed-period work
+// between engine events: advancing past a pending event would reorder
+// history, so t must not exceed the earliest pending event's time.
+func (e *Engine) AdvanceTo(t time.Duration) error {
+	if t < e.now {
+		return ErrClockRegression
+	}
+	if next, ok := e.peek(); ok && next < t {
+		return errors.New("sim: advance past a pending event")
+	}
+	e.now = t
+	return nil
+}
+
 // Stop makes the current Run or RunUntil return after the in-flight event
 // completes. The stop is sticky: later Run/RunUntil calls return
 // immediately until Reset is called, so a Stop issued between runs is
@@ -202,15 +270,20 @@ func (e *Engine) Reset() { e.stopped = false }
 func (e *Engine) NextEventAt() (time.Duration, bool) { return e.peek() }
 
 func (e *Engine) peek() (time.Duration, bool) {
+	ent, ok := e.peekEntry()
+	return ent.at, ok
+}
+
+func (e *Engine) peekEntry() (heapEntry, bool) {
 	for len(e.heap) > 0 {
 		top := e.heap[0]
 		if e.slots[top.slot].gen != top.gen {
 			e.pop() // stale entry for a cancelled event
 			continue
 		}
-		return top.at, true
+		return top, true
 	}
-	return 0, false
+	return heapEntry{}, false
 }
 
 // push appends ent and restores the heap invariant (sift up).
@@ -293,4 +366,41 @@ func (t *Ticker) Stop() {
 	}
 	t.stopped = true
 	t.engine.Cancel(t.handle)
+}
+
+// Period reports the current tick period.
+func (t *Ticker) Period() time.Duration { return t.period }
+
+// SetPeriod changes the tick period. The already-armed next tick keeps
+// its scheduled time; the new period takes effect from the re-arm after
+// it fires — exactly the behavior of mutating the period between ticks.
+func (t *Ticker) SetPeriod(period time.Duration) error {
+	if period <= 0 {
+		return errors.New("sim: ticker period must be positive")
+	}
+	t.period = period
+	return nil
+}
+
+// TickerSnapshot captures a ticker's mutable state for Engine forking.
+// The pending tick event itself lives in the engine's queue and is
+// restored by Engine.Restore; the snapshot records which handle that is,
+// plus the period and stop flag.
+type TickerSnapshot struct {
+	Period  time.Duration
+	Handle  Handle
+	Stopped bool
+}
+
+// Snapshot captures the ticker's state. Pair it with an Engine.Snapshot
+// taken at the same instant.
+func (t *Ticker) Snapshot() TickerSnapshot {
+	return TickerSnapshot{Period: t.period, Handle: t.handle, Stopped: t.stopped}
+}
+
+// Restore rewinds the ticker to a prior Snapshot. Valid only together
+// with an Engine.Restore of the matching engine snapshot, which revives
+// the arena slot the saved handle points at.
+func (t *Ticker) Restore(s TickerSnapshot) {
+	t.period, t.handle, t.stopped = s.Period, s.Handle, s.Stopped
 }

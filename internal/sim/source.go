@@ -1,0 +1,55 @@
+package sim
+
+import "math/rand"
+
+// CountingSource wraps the standard math/rand source and counts state
+// advances, so a deterministic RNG stream's position can be captured in a
+// snapshot and replayed on restore (reseed + fast-forward).
+//
+// It deliberately implements only rand.Source, not rand.Source64: a
+// *rand.Rand built on a plain Source routes every derived draw — Int63,
+// Intn, Float64, ExpFloat64, NormFloat64, Uint32 — through exactly one or
+// more Int63 calls, so Draws is an exact measure of consumed state and
+// the generated stream is bit-identical to an unwrapped rand.NewSource
+// (whose own Uint64 path would advance the state twice per call and break
+// the count).
+type CountingSource struct {
+	seed  int64
+	src   rand.Source
+	draws uint64
+}
+
+// NewCountingSource returns a counting source seeded with seed. Wrap it
+// with rand.New to obtain a snapshot-capable *rand.Rand.
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{seed: seed, src: rand.NewSource(seed)}
+}
+
+// Int63 draws the next value, advancing the count.
+func (s *CountingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Seed reseeds the source and resets the draw count.
+func (s *CountingSource) Seed(seed int64) {
+	s.seed = seed
+	s.draws = 0
+	s.src.Seed(seed)
+}
+
+// Draws reports how many values have been drawn since the last (re)seed.
+func (s *CountingSource) Draws() uint64 { return s.draws }
+
+// Restore positions the stream exactly draws values past the seed:
+// rewinding reseeds and fast-forwards, advancing just draws forward.
+func (s *CountingSource) Restore(draws uint64) {
+	if draws < s.draws {
+		s.src.Seed(s.seed)
+		s.draws = 0
+	}
+	for s.draws < draws {
+		s.draws++
+		s.src.Int63()
+	}
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// SplitAt partitions the trace at a warmup boundary: head holds every item
+// submitted at or before the instant, tail the rest. Both keep the parent's
+// metadata; item order is preserved, so head.Items is exactly the prefix
+// Items[:len(head.Items)] of the parent and tail the matching suffix. Fork
+// drivers run head as the shared warmup prefix and inject tail's jobs
+// (materialized with JobsFrom to keep their IDs) after the snapshot.
+func (t *Trace) SplitAt(at time.Duration) (head, tail *Trace) {
+	cut := at.Milliseconds()
+	k := len(t.Items)
+	for i, it := range t.Items {
+		if it.SubmitMillis > cut {
+			k = i
+			break
+		}
+	}
+	h, tl := *t, *t
+	h.Name = t.Name + "[warmup]"
+	h.Items = append([]Item(nil), t.Items[:k]...)
+	tl.Name = t.Name + "[tail]"
+	tl.Items = append([]Item(nil), t.Items[k:]...)
+	return &h, &tl
+}
+
+// Composite concatenates a warmup head with a per-variant tail into one
+// trace: the workload a seed-sensitivity cell actually runs. The head's
+// last submission must not come after the tail's first, so the composite
+// stays a sorted submission stream.
+func Composite(name string, head, tail *Trace) (*Trace, error) {
+	if head.Group != tail.Group {
+		return nil, fmt.Errorf("trace: composite of groups %d and %d", head.Group, tail.Group)
+	}
+	if head.Nodes != tail.Nodes {
+		return nil, fmt.Errorf("trace: composite of %d-node and %d-node traces", head.Nodes, tail.Nodes)
+	}
+	if len(head.Items) > 0 && len(tail.Items) > 0 {
+		if last, first := head.Items[len(head.Items)-1].SubmitMillis, tail.Items[0].SubmitMillis; last > first {
+			return nil, fmt.Errorf("trace: composite head ends at %dms after tail starts at %dms", last, first)
+		}
+	}
+	c := &Trace{
+		Name:           name,
+		Group:          head.Group,
+		Sigma:          tail.Sigma,
+		Mu:             tail.Mu,
+		DurationMillis: head.DurationMillis,
+		Seed:           tail.Seed,
+		Nodes:          head.Nodes,
+		Items:          make([]Item, 0, len(head.Items)+len(tail.Items)),
+	}
+	if tail.DurationMillis > c.DurationMillis {
+		c.DurationMillis = tail.DurationMillis
+	}
+	c.Items = append(c.Items, head.Items...)
+	c.Items = append(c.Items, tail.Items...)
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

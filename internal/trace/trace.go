@@ -186,9 +186,21 @@ func Standard(g workload.Group, n int, seed int64) (*Trace, error) {
 }
 
 // Jobs materializes the trace into job objects, in submission order.
-func (t *Trace) Jobs() ([]*job.Job, error) {
-	jobs := make([]*job.Job, 0, len(t.Items))
-	for i, it := range t.Items {
+// Job IDs are item indices, so the jobs of a prefix subtrace plus the
+// JobsFrom remainder of the full trace carry exactly the IDs a single
+// materialization of the full trace would.
+func (t *Trace) Jobs() ([]*job.Job, error) { return t.JobsFrom(0) }
+
+// JobsFrom materializes the items from index start onward, keeping each
+// job's ID equal to its item index in the full trace. Fork drivers use it
+// to build the tail jobs injected after a shared warmup prefix.
+func (t *Trace) JobsFrom(start int) ([]*job.Job, error) {
+	if start < 0 || start > len(t.Items) {
+		return nil, fmt.Errorf("trace %s: JobsFrom(%d) out of range 0..%d", t.Name, start, len(t.Items))
+	}
+	jobs := make([]*job.Job, 0, len(t.Items)-start)
+	for i := start; i < len(t.Items); i++ {
+		it := t.Items[i]
 		p, ok := workload.ByName(it.Program)
 		if !ok {
 			return nil, fmt.Errorf("trace %s: unknown program %q", t.Name, it.Program)
