@@ -444,3 +444,109 @@ func BenchmarkClusterRunBaseline(b *testing.B) {
 		}
 	}
 }
+
+// benchPressuredTrace synthesizes the pressure-saturated trace used by the
+// pressured ClusterRun benchmarks: the Group1 mix restricted to its four
+// largest working sets at ~3 resident jobs per workstation at the
+// saturation peak, so demand sits above user memory for most of the run.
+// The slow-ramp programs (apsi, mcf) keep the stall-replay fold busy while
+// the quick-ramp ones (gzip, bzip) add long pressured-flat stretches, so
+// the batched clock runs through all of its pressured regimes.
+func benchPressuredTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	tr, err := trace.Generate(trace.Config{
+		Name:     "bench-pressured",
+		Group:    workload.Group1,
+		Sigma:    2,
+		Mu:       2,
+		Jobs:     96,
+		Duration: 5 * time.Minute,
+		Nodes:    32,
+		Seed:     1,
+		Programs: []string{"apsi", "mcf", "gzip", "bzip"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// benchClusterRunPressured runs the saturated trace under the full
+// V-Reconfiguration stack; dense forces quantum-by-quantum ticking so the
+// pair isolates the stall-replay fold's gain (DESIGN.md §12).
+func benchClusterRunPressured(b *testing.B, dense bool) {
+	tr := benchPressuredTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched, err := core.NewVReconfiguration(core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := cluster.Cluster1()
+		cfg.Quantum = 10 * time.Millisecond
+		cfg.DenseTicks = dense
+		c, err := cluster.New(cfg, sched)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterRunPressured measures a pressure-heavy trace execution
+// with the batched quantum clock, including the pressured stall-replay
+// fold. BENCH_8.json pairs it with the forced-dense variant below.
+func BenchmarkClusterRunPressured(b *testing.B) { benchClusterRunPressured(b, false) }
+
+// BenchmarkClusterRunPressuredDense is the same execution with batching
+// disabled — the pre-fold cost of a saturated cluster.
+func BenchmarkClusterRunPressuredDense(b *testing.B) { benchClusterRunPressured(b, true) }
+
+// BenchmarkClusterRunSteadyPressured is the steady-state rewind loop of
+// BenchmarkClusterRunSteady on the saturated trace, with the warmup
+// snapshot taken at the residency peak so the re-simulated window runs
+// through TickPressuredBatch. The same zero-alloc contract applies:
+// scripts/bench.sh fails the snapshot if allocs/op is nonzero, pinning
+// the plan cache and fold buffers to their steady-state capacity.
+func BenchmarkClusterRunSteadyPressured(b *testing.B) {
+	const warmup = 4 * time.Minute
+	const window = time.Second
+	tr := benchPressuredTrace(b)
+	sched, err := core.NewVReconfiguration(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cluster.Cluster1()
+	cfg.Quantum = 10 * time.Millisecond
+	c, err := cluster.New(cfg, sched)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Start(tr); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.RunToDivergence(warmup); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func() {
+		b.Helper()
+		if err := c.Restore(snap); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.RunToDivergence(warmup + window); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // prime: fold buffers and plan cache reach steady-state capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}

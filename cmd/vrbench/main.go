@@ -21,6 +21,7 @@ import (
 
 	"vrcluster/internal/experiments"
 	"vrcluster/internal/faults"
+	"vrcluster/internal/profiling"
 	"vrcluster/internal/runner"
 	"vrcluster/internal/workload"
 )
@@ -32,7 +33,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("vrbench", flag.ContinueOnError)
 	var (
 		exp      = fs.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, analytic, intervals, ablations, ablate, seeds, faults, chaos, scale")
@@ -45,10 +46,21 @@ func run(args []string) error {
 		benchout = fs.String("benchout", "", "also write the scaling sweep as go-test bench lines to this file (-exp scale; for cmd/benchjson)")
 		levels   = fs.String("levels", "", "comma-separated trace levels for -exp chaos (default all five)")
 		fork     = fs.Bool("fork", true, "share the simulated warmup prefix across grid cells via snapshot/fork (-exp seeds, -exp ablate); results are identical either way")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	chaosLevels, err := parseLevels(*levels)
 	if err != nil {
 		return err

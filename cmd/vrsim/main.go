@@ -38,6 +38,7 @@ import (
 	"vrcluster/internal/metrics"
 	"vrcluster/internal/obs"
 	"vrcluster/internal/policy"
+	"vrcluster/internal/profiling"
 	"vrcluster/internal/runner"
 	"vrcluster/internal/trace"
 	"vrcluster/internal/workload"
@@ -50,7 +51,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("vrsim", flag.ContinueOnError)
 	var (
 		group      = fs.Int("group", 1, "workload group (1 = SPEC, 2 = applications)")
@@ -90,10 +91,21 @@ func run(args []string) error {
 		partMTTR   = fs.Duration("partmttr", 0, "mean partition heal time (0 = partmtbf/10)")
 		auditOn    = fs.Bool("audit", false, "run the invariant auditor every control period (fails the run on a violation)")
 		autoscale  = fs.Int("autoscale", 0, "autoscaler fleet cap: join nodes under load, drain idle ones (0 = off)")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if err := validateFaultFlags(set, *faultsOn, *mtbf, *mttr, *dropRate, *abortRate, *domains); err != nil {

@@ -663,6 +663,14 @@ func (c *Cluster) Start(tr *trace.Trace) error {
 			}
 			now := c.engine.Now()
 			next, ok := c.engine.NextEventAt()
+			// During a RunToDivergence drive the clock must not advance
+			// past the divergence instant: the fork driver injects
+			// arrivals just after it. Treating the first instant past
+			// the ceiling as eventful bounds both the inline advance and
+			// the batched stretch without touching their arithmetic.
+			if ceil, cok := c.engine.AdvanceCeiling(); cok && (!ok || ceil+1 < next) {
+				next, ok = ceil+1, true
+			}
 			if ok && next <= now+q {
 				c.quantumHandle = c.engine.After(q, quantumFn)
 				if err := c.quantumTick(); err != nil {
@@ -1213,10 +1221,12 @@ func (c *Cluster) planBatch(kMax int64) int64 {
 
 // applyBatch advances every active workstation by the k quanta of a
 // completion-free stretch. Nodes in a flat memory phase collapse their
-// stable prefix into one closed-form accounting pass; the remainder (and
-// nodes with ramping demand or partially resident jobs) replay ordinary
-// per-quantum ticks at the stretch's synthetic instants. Either way the
-// arithmetic is bit-identical to the unbatched path.
+// stable prefix into one closed-form accounting pass; unpressured ramping
+// nodes replay only their demand evolution; pressured nodes fold their
+// stall-replay plan; and whatever remains (partial residency, replay
+// bailouts) takes ordinary per-quantum ticks at the stretch's synthetic
+// instants. Either way the arithmetic is bit-identical to the unbatched
+// path.
 func (c *Cluster) applyBatch(now time.Duration, k int64) error {
 	q := c.cfg.Quantum
 	for wi, w := range c.active {
@@ -1232,7 +1242,17 @@ func (c *Cluster) applyBatch(now time.Duration, k int64) error {
 				t = kp
 			}
 			if rest := k - t; rest >= 2 {
-				ok, err := n.TickRampBatch(q, now+time.Duration(t)*q, rest)
+				// The two replay folds cover disjoint regimes — each
+				// refuses a node in the other's — so route on the
+				// pressure state up front rather than paying the ramp
+				// fold's setup just to bail on its first pressure check.
+				var ok bool
+				var err error
+				if n.Memory().Pressured() {
+					ok, err = n.TickPressuredBatch(q, now+time.Duration(t)*q, rest)
+				} else {
+					ok, err = n.TickRampBatch(q, now+time.Duration(t)*q, rest)
+				}
 				if err != nil {
 					return err
 				}

@@ -177,6 +177,12 @@ type Manager struct {
 	// a tracer is installed and never feed scheduling decisions.
 	episodeOpen  bool
 	episodeSince time.Duration
+
+	// Per-call-site scratch for sortedIDs; distinct fields so iteration
+	// over one survives a nested sort of another.
+	idsReserving []int
+	idsReserved  []int
+	idsFit       []int
 }
 
 // NewManager builds a reconfiguration manager.
@@ -319,13 +325,15 @@ func (m *Manager) Stats() Stats { return m.stats }
 // effects (releases, promotions, record appends, fit tie-breaks) must
 // visit workstations in a fixed order: Go's randomized map iteration
 // would otherwise make runs with identical seeds non-reproducible.
-func sortedIDs[V any](m map[int]V) []int {
-	ids := make([]int, 0, len(m))
+// Each call site passes its own scratch slice (reused across calls, so
+// steady-state control loops do not allocate) and keeps the result.
+func sortedIDs[V any](dst []int, m map[int]V) []int {
+	dst = dst[:0]
 	for id := range m {
-		ids = append(ids, id)
+		dst = append(dst, id)
 	}
-	sort.Ints(ids)
-	return ids
+	sort.Ints(dst)
+	return dst
 }
 
 // OnControl advances reserving periods: releases them when the blocking
@@ -340,7 +348,8 @@ func (m *Manager) OnControl(c *cluster.Cluster, now time.Duration) {
 		return
 	}
 	blocked := m.blockingExists(c)
-	for _, id := range sortedIDs(m.reserving) {
+	m.idsReserving = sortedIDs(m.idsReserving, m.reserving)
+	for _, id := range m.idsReserving {
 		st := m.reserving[id]
 		n, err := c.Node(id)
 		if err != nil {
@@ -432,7 +441,8 @@ func (m *Manager) OnControl(c *cluster.Cluster, now time.Duration) {
 	// reserved workstation is released immediately — its assigned jobs
 	// were killed or requeued by the crash, so the special service can
 	// never finish on its own.
-	for _, id := range sortedIDs(m.reserved) {
+	m.idsReserved = sortedIDs(m.idsReserved, m.reserved)
+	for _, id := range m.idsReserved {
 		rs := m.reserved[id]
 		n, err := c.Node(id)
 		if err != nil {
@@ -607,7 +617,8 @@ func (m *Manager) reservedFit(c *cluster.Cluster, victim *job.Job) (int, bool) {
 	demand := victim.MemoryDemandMB()
 	bestID, found := -1, false
 	var bestIdle float64
-	for _, id := range sortedIDs(m.reserved) {
+	m.idsFit = sortedIDs(m.idsFit, m.reserved)
+	for _, id := range m.idsFit {
 		rs := m.reserved[id]
 		if len(rs.assigned) >= m.opts.MaxAssignedPerReservation {
 			continue

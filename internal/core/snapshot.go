@@ -50,28 +50,54 @@ func (m *Manager) SnapshotState() any {
 	return s
 }
 
-// RestoreState rewinds the manager to a state from SnapshotState.
+// RestoreState rewinds the manager to a state from SnapshotState. Live
+// map entries and slice capacity are reused wherever the restored state
+// has a matching key, so rewinding to the same snapshot repeatedly — the
+// steady state of fork-heavy experiment grids — does not allocate.
 func (m *Manager) RestoreState(state any) {
 	s := state.(*managerState)
-	clear(m.reserving)
-	for id, st := range s.reserving {
-		cp := st
-		m.reserving[id] = &cp
+	for id := range m.reserving {
+		if _, ok := s.reserving[id]; !ok {
+			delete(m.reserving, id)
+		}
 	}
-	clear(m.reserved)
+	for id, st := range s.reserving {
+		if cur, ok := m.reserving[id]; ok {
+			*cur = st
+		} else {
+			cp := st
+			m.reserving[id] = &cp
+		}
+	}
+	for id := range m.reserved {
+		if _, ok := s.reserved[id]; !ok {
+			delete(m.reserved, id)
+		}
+	}
 	for id, saved := range s.reserved {
-		rs := saved.state
-		rs.assigned = append(rs.assigned[:0:0], saved.state.assigned...)
-		rs.arrivals = append(rs.arrivals[:0:0], saved.state.arrivals...)
-		m.reserved[id] = &rs
+		cur, ok := m.reserved[id]
+		if !ok {
+			cur = &reservedState{}
+			m.reserved[id] = cur
+		}
+		assigned, arrivals := cur.assigned, cur.arrivals
+		*cur = saved.state
+		cur.assigned = append(assigned[:0], saved.state.assigned...)
+		cur.arrivals = append(arrivals[:0], saved.state.arrivals...)
 	}
 	m.stats = s.stats
-	m.records = m.records[:0]
-	for _, rec := range s.records {
-		cp := rec
-		cp.Arrivals = append(cp.Arrivals[:0:0], rec.Arrivals...)
-		cp.Completions = append(cp.Completions[:0:0], rec.Completions...)
-		m.records = append(m.records, cp)
+	if n := len(s.records); cap(m.records) < n {
+		grown := make([]ReservationRecord, len(m.records), n)
+		copy(grown, m.records)
+		m.records = grown
+	}
+	m.records = m.records[:len(s.records)]
+	for i := range s.records {
+		rec, dst := &s.records[i], &m.records[i]
+		arrivals, completions := dst.Arrivals, dst.Completions
+		*dst = *rec
+		dst.Arrivals = append(arrivals[:0], rec.Arrivals...)
+		dst.Completions = append(completions[:0], rec.Completions...)
 	}
 	m.episodeOpen = s.episodeOpen
 	m.episodeSince = s.episodeSince

@@ -225,13 +225,24 @@ func (j *Job) DemandHorizon() (demandMB float64, horizon time.Duration) {
 // bit-equal to what sequential ticks would have produced.
 func (j *Job) DemandHorizonAt(service time.Duration) (demandMB float64, horizon time.Duration) {
 	frac := j.ProgressAt(service)
-	demandMB = j.MemoryDemandAtMB(frac)
-	if frac <= 0 || j.CPUDemand <= 0 {
-		return demandMB, 0
+	if frac <= 0 || j.CPUDemand <= 0 || len(j.Phases) == 0 {
+		return j.MemoryDemandAtMB(frac), 0
 	}
+	// Single scan: ProgressAt clamps frac to [0, 1], so the phase that
+	// MemoryDemandAtMB would interpolate in is the same first phase with
+	// frac <= EndFrac the horizon logic selects; compute both from it with
+	// MemoryDemandAtMB's exact arithmetic.
+	prev := 0.0
 	for _, p := range j.Phases {
 		if frac > p.EndFrac {
+			prev = p.EndFrac
 			continue
+		}
+		if span := p.EndFrac - prev; span <= 0 {
+			demandMB = p.EndMB
+		} else {
+			t := (frac - prev) / span
+			demandMB = p.StartMB + t*(p.EndMB-p.StartMB)
 		}
 		if p.StartMB != p.EndMB {
 			return demandMB, 0
@@ -253,7 +264,7 @@ func (j *Job) DemandHorizonAt(service time.Duration) (demandMB float64, horizon 
 		}
 		return demandMB, h
 	}
-	return demandMB, 0
+	return j.Phases[len(j.Phases)-1].EndMB, 0
 }
 
 // MemoryDemandAtMB reports the demand at an arbitrary progress fraction.
@@ -469,6 +480,30 @@ func (j *Job) AccountBatch(cpu, page, queue time.Duration, k int64) error {
 	j.acct.CPU += kc
 	j.acct.Page += page * time.Duration(k)
 	j.acct.Queue += queue * time.Duration(k)
+	return nil
+}
+
+// AccountFold charges the exact integer sums of a stretch of scheduling
+// quanta whose per-tick arguments varied (the pressured stall replay, where
+// each quantum's cpu depends on that tick's paging stall) — the fold of the
+// corresponding sequential Account calls, exact because every accumulation
+// is an integer sum. It must not cross the completion boundary: the
+// caller's replay guarantees every constituent quantum left demand
+// outstanding.
+func (j *Job) AccountFold(cpu, page, queue time.Duration) error {
+	if j.state != StateRunning {
+		return fmt.Errorf("job %d: account in state %v", j.ID, j.state)
+	}
+	if cpu < 0 || page < 0 || queue < 0 {
+		return fmt.Errorf("job %d: negative folded accounting (%v, %v, %v)", j.ID, cpu, page, queue)
+	}
+	if j.cpuDone+cpu >= j.CPUDemand {
+		return fmt.Errorf("job %d: folded quanta cross the completion boundary", j.ID)
+	}
+	j.cpuDone += cpu
+	j.acct.CPU += cpu
+	j.acct.Page += page
+	j.acct.Queue += queue
 	return nil
 }
 

@@ -207,8 +207,14 @@ func (m *Manager) DemandMB() float64 { return m.total }
 // IdleMB reports unclaimed user memory (never negative): the quantity the
 // paper accumulates cluster-wide to decide whether a virtual
 // reconfiguration can help.
-func (m *Manager) IdleMB() float64 {
-	idle := m.UserMB() - m.total
+func (m *Manager) IdleMB() float64 { return m.IdleAtMB(m.total) }
+
+// IdleAtMB reports the idle user memory a hypothetical demand total would
+// leave. The zero-argument accessors delegate to these *At forms so that a
+// replayed total runs through the very same arithmetic as dense ticking —
+// the foundation of the stall-replay plan's bit-identity guarantee.
+func (m *Manager) IdleAtMB(total float64) float64 {
+	idle := m.UserMB() - total
 	if idle < 0 {
 		return 0
 	}
@@ -227,23 +233,32 @@ func (m *Manager) Overcommit() float64 {
 
 // Pressured reports whether demand exceeds user memory, i.e. the node is
 // paging.
-func (m *Manager) Pressured() bool { return m.total > m.UserMB() }
+func (m *Manager) Pressured() bool { return m.PressuredAt(m.total) }
+
+// PressuredAt reports whether a hypothetical demand total would page.
+func (m *Manager) PressuredAt(total float64) bool { return total > m.UserMB() }
 
 // UnbackedFraction reports the share of demand with no physical backing:
 // 1 - user/total when pressured, else 0.
-func (m *Manager) UnbackedFraction() float64 {
-	if !m.Pressured() || m.total <= 0 {
+func (m *Manager) UnbackedFraction() float64 { return m.unbackedAt(m.total) }
+
+func (m *Manager) unbackedAt(total float64) float64 {
+	if !m.PressuredAt(total) || total <= 0 {
 		return 0
 	}
-	return 1 - m.UserMB()/m.total
+	return 1 - m.UserMB()/total
 }
 
 // FaultRate reports faults per CPU-second experienced by each resident job
 // at the current pressure: k*u/(1-u), capped to keep the model finite as
 // u -> 1 (the cap corresponds to every memory access beyond ~97% unbacked
 // hitting the fault ceiling).
-func (m *Manager) FaultRate() float64 {
-	u := m.UnbackedFraction()
+func (m *Manager) FaultRate() float64 { return m.FaultRateAt(m.total) }
+
+// FaultRateAt reports the fault rate a hypothetical demand total would
+// produce, via the identical arithmetic as FaultRate.
+func (m *Manager) FaultRateAt(total float64) float64 {
+	u := m.unbackedAt(total)
 	if u <= 0 {
 		return 0
 	}
@@ -257,7 +272,59 @@ func (m *Manager) FaultRate() float64 {
 // StallPerCPUSecond reports seconds of page-fault stall incurred per second
 // of CPU progress at current pressure.
 func (m *Manager) StallPerCPUSecond() float64 {
-	return m.FaultRate() * m.faultService().Seconds()
+	return m.StallPerCPUSecondAt(m.total)
+}
+
+// StallPerCPUSecondAt reports the stall a hypothetical demand total would
+// produce, via the identical arithmetic as StallPerCPUSecond. Sensitive to
+// the network-RAM override (SetRemoteBacking), which is why stall-replay
+// plans key on the remote service time.
+func (m *Manager) StallPerCPUSecondAt(total float64) float64 {
+	return m.FaultRateAt(total) * m.faultService().Seconds()
+}
+
+// FaultServiceTime reports the per-fault service time currently in effect
+// (the network-RAM override when set, else the disk service time).
+func (m *Manager) FaultServiceTime() time.Duration { return m.faultService() }
+
+// Replay is a deterministic stall-replay cursor. It walks the demand-total
+// trajectory a sequence of Update calls would produce — without mutating
+// the manager — and emits the exact per-quantum StallPerCPUSecond /
+// FaultRate / pressure sequence dense ticking would observe at each point.
+// Because the cursor evaluates through the same *At methods the
+// zero-argument accessors delegate to, and Step reproduces Update's
+// accumulate-then-clamp exactly, every float the replay yields is
+// bit-identical to the one dense ticking would have computed. Commit the
+// final per-job demands and total with ReplayDemands.
+type Replay struct {
+	m     *Manager
+	total float64
+}
+
+// Replay returns a cursor positioned at the manager's current total.
+func (m *Manager) Replay() Replay { return Replay{m: m, total: m.total} }
+
+// Total reports the cursor's running demand total.
+func (r *Replay) Total() float64 { return r.total }
+
+// Pressured reports whether the cursor's total would be paging.
+func (r *Replay) Pressured() bool { return r.m.PressuredAt(r.total) }
+
+// FaultRate reports the fault rate at the cursor's total.
+func (r *Replay) FaultRate() float64 { return r.m.FaultRateAt(r.total) }
+
+// Stall reports StallPerCPUSecond at the cursor's total.
+func (r *Replay) Stall() float64 { return r.m.StallPerCPUSecondAt(r.total) }
+
+// Step applies one job's demand revision (oldMB -> newMB) with exactly
+// Update's accumulation: total += new - old, clamped at zero. Replayed
+// revisions must arrive in the same order the dense path would issue them;
+// float addition is non-associative.
+func (r *Replay) Step(oldMB, newMB float64) {
+	r.total += newMB - oldMB
+	if r.total < 0 {
+		r.total = 0
+	}
 }
 
 // SetRemoteBacking makes page faults hit remote idle memory over the

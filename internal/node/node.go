@@ -164,6 +164,88 @@ type Node struct {
 	rampDemand []float64
 	rampFlat   []time.Duration
 	rampIDs    []int
+
+	// pressPlans is a small ring of cached stall-replay plans for
+	// TickPressuredBatch. Unlike the single-event scratch above, cached
+	// plans intentionally outlive the event that built them: every entry
+	// is keyed on the complete set of inputs its replay depends on (jobs
+	// by identity, per-job service/demand/phase state, the demand total,
+	// the quantum, the stretch length, and the fault-service override),
+	// so a hit is valid whenever the key matches — including after a
+	// Restore, where forks re-entering the same warmup prefix re-derive
+	// exactly the keyed state and reuse the plan across what-if cells.
+	// Content addressing is what makes the cache fork-safe without any
+	// invalidation hook in Snapshot/Restore.
+	pressPlans [pressPlanSlots]pressPlan
+	pressNext  int
+	// pressRun is the replay's running per-job CPU-service cursor, plain
+	// single-event scratch like the ramp slices.
+	pressRun []time.Duration
+	pressIO  []float64
+
+	// doneScratch backs Tick's completed-jobs return value. Callers
+	// consume the slice before the node's next Tick, so reusing one
+	// backing array keeps completion-bearing quanta allocation-free.
+	doneScratch []*job.Job
+}
+
+// pressPlanSlots is the per-node plan-cache ring size: enough to hold the
+// plans of the handful of batched stretches between a snapshot point and
+// the first divergence, which is the window fork-heavy experiment grids
+// (WhatIfGrid, SeedSensitivity) replay over and over.
+const pressPlanSlots = 4
+
+// pressPlan is one cached stall-replay plan: the folded outcome of k
+// pressured quanta, plus the complete key identifying the node state it
+// was computed from.
+type pressPlan struct {
+	used bool
+
+	// Key. jobs are compared by pointer identity (profiles are immutable;
+	// a restored fork re-holds the very same Job objects), the rest by
+	// value. The demand total and fault-service override pin the memory
+	// manager's stall arithmetic; ioRate pins each job's cache-miss term.
+	dt         time.Duration
+	k          int64
+	remote     time.Duration
+	total      float64
+	faultStart float64
+	jobs       []*job.Job
+	ioRate     []float64
+	done       []time.Duration
+	demand     []float64
+	flat       []time.Duration
+
+	// Folded outputs: exact integer sums per job, the demand/phase state
+	// after the stretch, the replayed demand total, and the fault
+	// accumulator after the stretch. Float accumulation is order-dependent,
+	// so faultEnd is built by adding each quantum's accrual to faultStart
+	// in exact replay order — which is why faultStart is part of the key.
+	sumCPU    []time.Duration
+	sumPage   []time.Duration
+	sumQueue  []time.Duration
+	sumIO     []time.Duration
+	endDemand []float64
+	endFlat   []time.Duration
+	endTotal  float64
+	changed   bool
+	faultEnd  float64
+}
+
+// matches reports whether the plan was built from exactly the given node
+// state.
+func (p *pressPlan) matches(n *Node, dt time.Duration, k int64, remote time.Duration, total float64) bool {
+	if !p.used || p.dt != dt || p.k != k || p.remote != remote ||
+		p.total != total || p.faultStart != n.faults || len(p.jobs) != len(n.jobs) {
+		return false
+	}
+	for i, j := range n.jobs {
+		if p.jobs[i] != j || p.ioRate[i] != j.IORate() || p.done[i] != j.CPUDone() ||
+			p.demand[i] != n.demand[i] || p.flat[i] != n.flatUntil[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // New constructs a workstation.
@@ -268,6 +350,11 @@ func (n *Node) Jobs() []*job.Job {
 	copy(out, n.jobs)
 	return out
 }
+
+// JobAt returns the i-th resident job in round-robin order. Together with
+// NumJobs it lets per-control scans iterate residents without the
+// defensive copy Jobs makes.
+func (n *Node) JobAt(i int) *job.Job { return n.jobs[i] }
 
 // HasSlot reports whether a job slot is free (CPU threshold not reached),
 // counting slots held for in-flight migrations. A crashed workstation has
@@ -780,7 +867,7 @@ func (n *Node) Tick(dt time.Duration, now time.Duration) ([]*job.Job, error) {
 	denomBase := 1/v + stall
 	lo := now - dt
 
-	var done []*job.Job
+	done := n.doneScratch[:0]
 	for i, j := range n.jobs {
 		// Credit only the portion of the quantum the job was actually
 		// resident for (it may have been admitted mid-quantum).
@@ -892,6 +979,10 @@ func (n *Node) Tick(dt time.Duration, now time.Duration) ([]*job.Job, error) {
 	// Demand refreshes and completions above may have moved pressure in
 	// either direction; one transition check covers the whole tick.
 	n.notifyPressure()
+	if len(done) < len(n.doneScratch) {
+		clear(n.doneScratch[len(done):]) // drop stale job references
+	}
+	n.doneScratch = done
 	return done, nil
 }
 
@@ -918,7 +1009,17 @@ func (n *Node) CompletionFloor(dt time.Duration, kMax int64) int64 {
 	maxCPU := time.Duration(exec.Seconds()*n.SpeedFactor()*float64(time.Second)) + 1
 	k := kMax
 	for _, j := range n.jobs {
-		if kj := int64((j.Remaining() - 1) / maxCPU); kj < k {
+		kj := int64((j.Remaining() - 1) / maxCPU)
+		if kj == 0 {
+			// A resident job could complete on the very next tick even at
+			// maximal per-quantum progress: no stretch exists. Returning
+			// immediately skips the remaining residents and, more
+			// importantly, spares the cluster a plan/bailout cycle on a
+			// near-done node — under pressure that cycle replays the whole
+			// stall sequence before discovering the completion.
+			return 0
+		}
+		if kj < k {
 			k = kj
 		}
 	}
@@ -1182,4 +1283,235 @@ func (n *Node) TickRampBatch(dt, now time.Duration, k int64) (bool, error) {
 	copy(n.flatUntil, n.rampFlat)
 	n.notifyPressure()
 	return true, nil
+}
+
+// TickPressuredBatch advances k quanta in one pass on a node under memory
+// pressure — the regime where every tick's paging stall feeds back into the
+// next tick's arithmetic, which PlanQuanta (constant per-tick quantities)
+// and TickRampBatch (zero stall) cannot fold. The stall sequence is
+// replayed from a memory.Replay cursor: each quantum hoists the stall from
+// the cursor's running demand total exactly as Tick hoists it from the
+// manager, each job's cpu/page/queue/ioStall chain runs the identical
+// straight-line float arithmetic, page-fault addends are recorded at the
+// exact per-job accrual points (against the total as updated by earlier
+// jobs that tick), and demand refreshes step the cursor in Tick's
+// per-tick, per-job order. The replay bails — leaving the node untouched
+// and reporting false — on any pressure-boundary crossing, completion
+// clamp, or partial residency, so commits are provably bit-identical to k
+// sequential Ticks.
+//
+// Built plans are cached in a content-keyed ring (see pressPlan): forks
+// that Restore to the same warmup prefix re-derive the identical key and
+// reuse the fold without replaying.
+func (n *Node) TickPressuredBatch(dt, now time.Duration, k int64) (bool, error) {
+	count := len(n.jobs)
+	if count == 0 || dt <= 0 || k < 2 {
+		return false, nil
+	}
+	if !n.mem.Pressured() {
+		return false, nil // unpressured regimes belong to PlanQuanta/TickRampBatch
+	}
+	lo := now - dt
+	for _, from := range n.covered {
+		if from > lo {
+			return false, nil // admitted mid-quantum: first tick credits partial residency
+		}
+	}
+
+	remote := n.mem.FaultServiceTime()
+	total := n.mem.DemandMB()
+	var plan *pressPlan
+	for s := range n.pressPlans {
+		if p := &n.pressPlans[s]; p.matches(n, dt, k, remote, total) {
+			plan = p
+			break
+		}
+	}
+	if plan == nil {
+		plan = &n.pressPlans[n.pressNext]
+		n.pressNext = (n.pressNext + 1) % pressPlanSlots
+		if !n.buildPressPlan(plan, dt, k, remote, total) {
+			return false, nil
+		}
+	}
+	return true, n.applyPressPlan(plan, now)
+}
+
+// buildPressPlan replays k pressured quanta onto plan's scratch, recording
+// the key it was built from. Reports false (plan invalidated) if the
+// stretch cannot be folded bit-identically.
+func (n *Node) buildPressPlan(p *pressPlan, dt time.Duration, k int64, remote time.Duration, total float64) bool {
+	p.used = false
+	count := len(n.jobs)
+
+	// Tick's hoisted invariants that do not depend on the demand total.
+	share := dt / time.Duration(count)
+	overhead := time.Duration(0)
+	if count > 1 {
+		overhead = n.cfg.ContextSwitch
+	}
+	exec := share - overhead
+	if exec < 0 {
+		exec = 0
+	}
+	v := n.SpeedFactor()
+	execSec := exec.Seconds()
+	// Tick re-reads cache availability every quantum, but within this
+	// stretch every tick starts pressured (the replay bails on any
+	// crossing), so idle memory is pinned at zero and the per-tick read
+	// is the same constant Tick computes now.
+	cacheMiss := 1 - n.CacheAvailability()
+
+	// Key.
+	p.dt, p.k, p.remote, p.total = dt, k, remote, total
+	p.jobs = append(p.jobs[:0], n.jobs...)
+	p.ioRate = append(p.ioRate[:0], make([]float64, count)...)
+	p.done = append(p.done[:0], make([]time.Duration, count)...)
+	p.demand = append(p.demand[:0], n.demand...)
+	p.flat = append(p.flat[:0], n.flatUntil...)
+
+	// Outputs and replay scratch.
+	p.sumCPU = append(p.sumCPU[:0], make([]time.Duration, count)...)
+	p.sumPage = append(p.sumPage[:0], make([]time.Duration, count)...)
+	p.sumQueue = append(p.sumQueue[:0], make([]time.Duration, count)...)
+	p.sumIO = append(p.sumIO[:0], make([]time.Duration, count)...)
+	p.endDemand = append(p.endDemand[:0], n.demand...)
+	p.endFlat = append(p.endFlat[:0], n.flatUntil...)
+	p.faultStart = n.faults
+	p.changed = false
+	n.pressRun = append(n.pressRun[:0], make([]time.Duration, count)...)
+
+	n.pressIO = append(n.pressIO[:0], make([]float64, count)...)
+	for i, j := range n.jobs {
+		rate := j.IORate()
+		p.ioRate[i] = rate
+		p.done[i] = j.CPUDone()
+		n.pressRun[i] = j.CPUDone()
+		// Tick recomputes the I/O stall every quantum, but rate, disk
+		// bandwidth, and the pressured cache-miss fraction are all
+		// constant across the stretch, so the quotient is too.
+		if rate > 0 && cacheMiss > 0 && n.cfg.DiskMBps > 0 {
+			n.pressIO[i] = rate / n.cfg.DiskMBps * cacheMiss
+		}
+	}
+
+	// The fault rate is a pure function of the demand total, and the total
+	// only moves on a demand refresh — recompute lazily on rep.Step instead
+	// of per quantum per job like dense Tick does. faultService is fixed
+	// for the stretch (remote backing only changes at control points), and
+	// Stall() is exactly FaultRate()*faultService().Seconds(), so the
+	// hoisted products are bit-identical to Tick's.
+	fsSec := n.mem.FaultServiceTime().Seconds()
+	userMB := n.mem.UserMB()
+	rep := n.mem.Replay()
+	fr := rep.FaultRate()
+	// The fault accumulator is replayed here, during the build, by adding
+	// each quantum's accrual in exact dense order onto the node's current
+	// value (part of the plan key); the commit just installs the result.
+	faults := n.faults
+	// Re-slice every per-job array to the shared length so the inner
+	// loop's indexing is provably in range (bounds checks hoist out).
+	jobs := p.jobs[:count]
+	pressIO := n.pressIO[:count]
+	pressRun := n.pressRun[:count]
+	sumCPU := p.sumCPU[:count]
+	sumPage := p.sumPage[:count]
+	sumQueue := p.sumQueue[:count]
+	sumIO := p.sumIO[:count]
+	endDemand := p.endDemand[:count]
+	endFlat := p.endFlat[:count]
+	for t := int64(1); t <= k; t++ {
+		if rep.Total() <= userMB {
+			return false // stall regime flipped: the next tick is flat/ramp territory
+		}
+		stall := fr * fsSec
+		denomBase := 1/v + stall
+		for i, j := range jobs {
+			ioStall := pressIO[i]
+			cpuSec := execSec
+			if denom := denomBase + ioStall; denom != 1 {
+				cpuSec = execSec / denom
+			}
+			cpu := time.Duration(cpuSec * float64(time.Second))
+			if cpu >= j.CPUDemand-pressRun[i] {
+				return false // Tick's completion clamp would fire inside the stretch
+			}
+			pressRun[i] += cpu
+			computeWall := cpu
+			if v != 1 {
+				computeWall = time.Duration(float64(cpu) / v)
+			}
+			page := time.Duration(0)
+			if ps := stall + ioStall; ps != 0 {
+				page = time.Duration(float64(cpu) * ps)
+			}
+			queue := dt - computeWall - page
+			if queue < 0 {
+				queue = 0
+			}
+			sumCPU[i] += cpu
+			sumPage[i] += page
+			sumQueue[i] += queue
+			if ioStall != 0 {
+				sumIO[i] += time.Duration(float64(cpu) * ioStall)
+			}
+			// Fault accrual point: Tick checks pressure after job i's
+			// accounting, i.e. against the total as updated by jobs
+			// 0..i-1 this tick. Record the addend; float accumulation is
+			// order-dependent, so the commit re-adds the sequence.
+			if rep.Total() <= userMB {
+				return false // crossing mid-tick changes the accrual set
+			}
+			faults += float64(cpu) / float64(time.Second) * fr
+			// Demand refresh past the flat-phase horizon, stepping the
+			// cursor with Update's exact accumulate-then-clamp.
+			if pressRun[i] > endFlat[i] {
+				d, horizon := j.DemandHorizonAt(pressRun[i])
+				if d != endDemand[i] {
+					rep.Step(endDemand[i], d)
+					fr = rep.FaultRate() // total moved: next accrual sees it
+					endDemand[i] = d
+					p.changed = true
+				}
+				endFlat[i] = horizon
+			}
+		}
+	}
+	p.endTotal = rep.Total()
+	p.faultEnd = faults
+	p.used = true
+	return true
+}
+
+// applyPressPlan commits a stall-replay plan: integer sums fold exactly,
+// fault addends re-add in replay order, and the demand state lands as the
+// final tick would have left it. A pressure crossing caused by the very
+// last refresh is notified here, just as the final Tick's notifyPressure
+// would have.
+func (n *Node) applyPressPlan(p *pressPlan, now time.Duration) error {
+	last := now + time.Duration(p.k-1)*p.dt
+	for i, j := range n.jobs {
+		if err := j.AccountFold(p.sumCPU[i], p.sumPage[i], p.sumQueue[i]); err != nil {
+			return err
+		}
+		n.covered[i] = last
+		n.cpuDelivered += p.sumCPU[i]
+		if io := p.sumIO[i]; io != 0 {
+			n.ioStall += io
+		}
+	}
+	n.faults = p.faultEnd
+	if p.changed {
+		n.rampIDs = n.rampIDs[:0]
+		for _, j := range n.jobs {
+			n.rampIDs = append(n.rampIDs, j.ID)
+		}
+		if err := n.mem.ReplayDemands(n.rampIDs, p.endDemand, p.endTotal); err != nil {
+			return err
+		}
+	}
+	copy(n.demand, p.endDemand)
+	copy(n.flatUntil, p.endFlat)
+	n.notifyPressure()
+	return nil
 }

@@ -1,0 +1,324 @@
+package node
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"vrcluster/internal/job"
+)
+
+// pressuredPair builds two identical nodes loaded past their user memory
+// with ramping-demand jobs, so every tick runs the stall-feedback regime
+// TickPressuredBatch folds.
+func pressuredPair(t *testing.T) (dense, batched *Node) {
+	t.Helper()
+	mk := func() *Node {
+		n := newNode(t, 100, 4)
+		for id, ph := range [][]job.Phase{
+			{{EndFrac: 0.8, StartMB: 30, EndMB: 70}, {EndFrac: 1, StartMB: 70, EndMB: 70}},
+			{{EndFrac: 0.6, StartMB: 40, EndMB: 90}, {EndFrac: 1, StartMB: 90, EndMB: 50}},
+		} {
+			j, err := job.New(id, "ramp", 30*time.Second, ph, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := n.Admit(j, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return n
+	}
+	dense, batched = mk(), mk()
+	// Warm both onto the ramp until the node is pressured.
+	q := 10 * time.Millisecond
+	now := time.Duration(0)
+	for !dense.Pressured() {
+		now += q
+		for _, n := range []*Node{dense, batched} {
+			if _, err := n.Tick(q, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if now > time.Minute {
+			t.Fatal("nodes never became pressured")
+		}
+	}
+	if !batched.Pressured() {
+		t.Fatal("twin nodes diverged during warmup")
+	}
+	return dense, batched
+}
+
+// snapState flattens everything a batched stretch may touch.
+func snapState(n *Node) (faults float64, cpu, io time.Duration, total float64, done []time.Duration, acct []job.Breakdown, demand []float64, flat []time.Duration) {
+	faults, cpu, io, total = n.Faults(), n.CPUDelivered(), n.IOStall(), n.Memory().DemandMB()
+	for _, j := range n.jobs {
+		done = append(done, j.CPUDone())
+		acct = append(acct, j.Breakdown())
+	}
+	demand = append(demand, n.demand...)
+	flat = append(flat, n.flatUntil...)
+	return
+}
+
+func requireSameState(t *testing.T, dense, batched *Node, what string) {
+	t.Helper()
+	df, dc, di, dt_, dd, da, ddm, dfl := snapState(dense)
+	bf, bc, bi, bt, bd, ba, bdm, bfl := snapState(batched)
+	if df != bf {
+		t.Fatalf("%s: faults diverge: dense %v batched %v", what, df, bf)
+	}
+	if dc != bc || di != bi || dt_ != bt {
+		t.Fatalf("%s: accumulators diverge: cpu %v/%v io %v/%v total %v/%v", what, dc, bc, di, bi, dt_, bt)
+	}
+	if !reflect.DeepEqual(dd, bd) || !reflect.DeepEqual(da, ba) {
+		t.Fatalf("%s: job accounting diverges:\n dense %v %+v\n batch %v %+v", what, dd, da, bd, ba)
+	}
+	if !reflect.DeepEqual(ddm, bdm) || !reflect.DeepEqual(dfl, bfl) {
+		t.Fatalf("%s: demand state diverges", what)
+	}
+}
+
+// TestTickPressuredBatchMatchesDense pins the stall-replay fold
+// bit-identical to sequential Ticks across several consecutive stretches of
+// a pressured, ramping node.
+func TestTickPressuredBatchMatchesDense(t *testing.T) {
+	dense, batched := pressuredPair(t)
+	q := 10 * time.Millisecond
+	now := dense.covered[0]
+	const k = 50
+	for round := 0; round < 6; round++ {
+		for s := int64(1); s <= k; s++ {
+			if _, err := dense.Tick(q, now+time.Duration(s)*q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ok, err := batched.TickPressuredBatch(q, now+q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			// The replay bailed (e.g. a crossing mid-stretch): fall back
+			// exactly as the cluster would.
+			for s := int64(1); s <= k; s++ {
+				if _, err := batched.Tick(q, now+time.Duration(s)*q); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		now += k * q
+		requireSameState(t, dense, batched, "after stretch")
+	}
+}
+
+// TestTickPressuredBatchBailsAndLeavesNodeUntouched drives the replay into
+// a pressure-boundary crossing (ramp-down past user memory) and checks the
+// node is byte-identical to before the attempt.
+func TestTickPressuredBatchBailsAndLeavesNodeUntouched(t *testing.T) {
+	n := newNode(t, 100, 4)
+	// One big flat job plus one that ramps down steeply: demand starts at
+	// 120 MB total (pressured) and falls under 100 MB within the stretch.
+	flat := []job.Phase{{EndFrac: 1, StartMB: 60, EndMB: 60}}
+	down := []job.Phase{{EndFrac: 0.5, StartMB: 60, EndMB: 10}, {EndFrac: 1, StartMB: 10, EndMB: 10}}
+	for id, ph := range [][]job.Phase{flat, down} {
+		j, err := job.New(id, "x", 20*time.Second, ph, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Admit(j, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := 10 * time.Millisecond
+	if _, err := n.Tick(q, q); err != nil { // settle first-quantum residency
+		t.Fatal(err)
+	}
+	if !n.Pressured() {
+		t.Fatal("node should start pressured")
+	}
+	before, bc, bi, bt, bd, ba, bdm, bfl := snapState(n)
+	// A long stretch must cross the boundary as the ramp-down job sheds
+	// demand; the replay has to bail without committing anything.
+	ok, err := n.TickPressuredBatch(q, 2*q, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("expected bailout on pressure crossing")
+	}
+	after, ac, ai, at_, ad, aa, adm, afl := snapState(n)
+	if before != after || bc != ac || bi != ai || bt != at_ ||
+		!reflect.DeepEqual(bd, ad) || !reflect.DeepEqual(ba, aa) ||
+		!reflect.DeepEqual(bdm, adm) || !reflect.DeepEqual(bfl, afl) {
+		t.Fatal("bailed batch mutated node state")
+	}
+}
+
+// TestTickPressuredBatchUnpressuredRefuses pins the regime split: the
+// pressured fold must decline unpressured nodes (they belong to
+// PlanQuanta/TickRampBatch).
+func TestTickPressuredBatchUnpressuredRefuses(t *testing.T) {
+	n := newNode(t, 100, 4)
+	if err := n.Admit(newJob(t, 1, 10*time.Second, 20), 0); err != nil {
+		t.Fatal(err)
+	}
+	q := 10 * time.Millisecond
+	if _, err := n.Tick(q, q); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := n.TickPressuredBatch(q, 2*q, 50); err != nil || ok {
+		t.Fatalf("unpressured batch: ok=%v err=%v, want refusal", ok, err)
+	}
+}
+
+// TestTickPressuredBatchCacheReusedAcrossRestore exercises the fork
+// pattern: snapshot a pressured node, fold a stretch (building a plan),
+// restore, and fold again. The second call must hit the content-keyed
+// cache and commit results identical to the first — and to dense ticking.
+func TestTickPressuredBatchCacheReusedAcrossRestore(t *testing.T) {
+	dense, batched := pressuredPair(t)
+	q := 10 * time.Millisecond
+	now := batched.covered[0]
+	const k = 40
+	// Node-level Restore rewinds the node's own state; the cluster's
+	// snapshot layer rewinds jobs separately, so do the same here.
+	snap := batched.Snapshot()
+	jobSnaps := make([]job.Snapshot, len(batched.jobs))
+	for i, j := range batched.jobs {
+		jobSnaps[i] = j.Snapshot()
+	}
+
+	ok, err := batched.TickPressuredBatch(q, now+q, k)
+	if err != nil || !ok {
+		t.Fatalf("first fold: ok=%v err=%v", ok, err)
+	}
+	_, firstCPU, _, firstTotal, firstDone, _, _, _ := snapState(batched)
+
+	for i, j := range batched.jobs {
+		j.Restore(jobSnaps[i])
+	}
+	batched.Restore(snap)
+	// The restored state re-derives the identical key, so this must match
+	// a cached entry rather than rebuild.
+	var hits int
+	remote := batched.Memory().FaultServiceTime()
+	for s := range batched.pressPlans {
+		if batched.pressPlans[s].matches(batched, q, k, remote, batched.Memory().DemandMB()) {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("restored state matched %d cached plans, want 1", hits)
+	}
+	ok, err = batched.TickPressuredBatch(q, now+q, k)
+	if err != nil || !ok {
+		t.Fatalf("fold after restore: ok=%v err=%v", ok, err)
+	}
+	_, againCPU, _, againTotal, againDone, _, _, _ := snapState(batched)
+	if firstCPU != againCPU || firstTotal != againTotal || !reflect.DeepEqual(firstDone, againDone) {
+		t.Fatal("cached fold diverged from original fold")
+	}
+
+	// And both must equal dense ticking from the same point.
+	for s := int64(1); s <= k; s++ {
+		if _, err := dense.Tick(q, now+time.Duration(s)*q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requireSameState(t, dense, batched, "cached fold vs dense")
+}
+
+// TestTickPressuredBatchStaleCacheCannotHit pins the stale-plan hazard: a
+// node whose state moved on (one extra dense tick) must not match a plan
+// keyed on the earlier state.
+func TestTickPressuredBatchStaleCacheCannotHit(t *testing.T) {
+	dense, batched := pressuredPair(t)
+	q := 10 * time.Millisecond
+	now := batched.covered[0]
+	const k = 40
+	snap := batched.Snapshot()
+	jobSnaps := make([]job.Snapshot, len(batched.jobs))
+	for i, j := range batched.jobs {
+		jobSnaps[i] = j.Snapshot()
+	}
+	if ok, err := batched.TickPressuredBatch(q, now+q, k); err != nil || !ok {
+		t.Fatalf("seed fold: ok=%v err=%v", ok, err)
+	}
+	for i, j := range batched.jobs {
+		j.Restore(jobSnaps[i])
+	}
+	batched.Restore(snap)
+	// Advance one dense tick: cpuDone/demand/total all move, so the
+	// cached plan's key must no longer match.
+	if _, err := batched.Tick(q, now+q); err != nil {
+		t.Fatal(err)
+	}
+	remote := batched.Memory().FaultServiceTime()
+	for s := range batched.pressPlans {
+		if batched.pressPlans[s].matches(batched, q, k, remote, batched.Memory().DemandMB()) {
+			t.Fatal("stale plan matched advanced node state")
+		}
+	}
+	// The fold from the advanced state must still be dense-identical.
+	if _, err := dense.Tick(q, now+q); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := batched.TickPressuredBatch(q, now+2*q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := int64(1); s <= k; s++ {
+		if _, err := dense.Tick(q, now+q+time.Duration(s)*q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ok {
+		for s := int64(1); s <= k; s++ {
+			if _, err := batched.Tick(q, now+q+time.Duration(s)*q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	requireSameState(t, dense, batched, "post-stale-check fold")
+}
+
+// TestCompletionFloorEarlyExitAtBoundary pins the near-done fast path: with
+// a resident job within one quantum of completion at maximal progress the
+// floor is exactly zero, and one tick of slack away it is exactly one.
+func TestCompletionFloorEarlyExitAtBoundary(t *testing.T) {
+	q := 10 * time.Millisecond
+	// Single resident job at speed factor 1: exec == q, so maxCPU == q+1.
+	maxCPU := time.Duration(q.Seconds()*float64(time.Second)) + 1
+	cases := []struct {
+		remaining time.Duration
+		want      int64
+	}{
+		{maxCPU, 0},        // (maxCPU-1)/maxCPU == 0: could finish next tick
+		{maxCPU - 1, 0},    // even closer
+		{maxCPU + 1, 1},    // exactly one provably non-final tick
+		{2*maxCPU + 1, 2},  // two
+		{100 * maxCPU, 99}, // deep interior
+	}
+	for _, c := range cases {
+		n := newNode(t, 1000, 4)
+		if err := n.Admit(newJob(t, 1, c.remaining, 10), 0); err != nil {
+			t.Fatal(err)
+		}
+		if got := n.CompletionFloor(q, 1<<30); got != c.want {
+			t.Fatalf("CompletionFloor(remaining=%v) = %d, want %d", c.remaining, got, c.want)
+		}
+	}
+	// Early exit must trigger regardless of position: a near-done job after
+	// a long-running one still floors the node at zero.
+	n := newNode(t, 1000, 4)
+	if err := n.Admit(newJob(t, 1, time.Hour, 10), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Admit(newJob(t, 2, 3*time.Millisecond, 10), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.CompletionFloor(q, 1<<30); got != 0 {
+		t.Fatalf("CompletionFloor with near-done second job = %d, want 0", got)
+	}
+}

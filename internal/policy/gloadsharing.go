@@ -178,7 +178,8 @@ func (g *GLoadSharing) OnControl(c *cluster.Cluster, now time.Duration) {
 func (g *GLoadSharing) migratable(n *node.Node) *job.Job {
 	var best *job.Job
 	bestDemand := -1.0
-	for _, j := range n.Jobs() {
+	for i, count := 0, n.NumJobs(); i < count; i++ {
+		j := n.JobAt(i)
 		if g.MaxJobMigrations > 0 && j.Migrations() >= g.MaxJobMigrations {
 			continue
 		}

@@ -90,6 +90,12 @@ type Engine struct {
 	src     *CountingSource
 	rng     *rand.Rand
 	stopped bool
+
+	// ceiling bounds clock advances while a RunToDivergence drive is in
+	// progress (hasCeiling). Scoped to the drive's dynamic extent, so it
+	// never appears in snapshots.
+	ceiling    time.Duration
+	hasCeiling bool
 }
 
 // NewEngine returns an engine with its clock at zero and a random source
@@ -223,7 +229,14 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 // later) pending. It is the warmup half of a snapshot/fork: the engine
 // lands on exactly the state a fresh run has when its divergence-class
 // event at at fires. A sticky stop is honored as in Run.
+//
+// While the drive is active, at is published as the advance ceiling (see
+// AdvanceCeiling): batching event callbacks that advance the clock
+// themselves must stop at the ceiling, or the fork driver's injected
+// arrivals — which land just after it — would arrive in the clock's past.
 func (e *Engine) RunToDivergence(at time.Duration) {
+	e.ceiling, e.hasCeiling = at, true
+	defer func() { e.hasCeiling = false }()
 	for !e.stopped {
 		top, ok := e.peekEntry()
 		if !ok || top.at > at || (top.at == at && top.class >= ClassDiverge) {
@@ -234,6 +247,14 @@ func (e *Engine) RunToDivergence(at time.Duration) {
 	if !e.stopped && e.now < at {
 		e.now = at
 	}
+}
+
+// AdvanceCeiling reports the clock ceiling of an in-progress
+// RunToDivergence drive. While set, event callbacks must not move the
+// clock (AdvanceTo) past the ceiling; instants beyond it belong to the
+// forked continuation.
+func (e *Engine) AdvanceCeiling() (time.Duration, bool) {
+	return e.ceiling, e.hasCeiling
 }
 
 // AdvanceTo moves the clock forward to t without running anything. It is

@@ -5,7 +5,7 @@
 # trajectory is tracked PR over PR.
 #
 # Usage: scripts/bench.sh [-out FILE] [-old FILE] [-pattern REGEX]
-#   -out FILE      snapshot to write (default BENCH_7.json)
+#   -out FILE      snapshot to write (default BENCH_8.json)
 #   -old FILE      previous raw bench text to compare against; the JSON
 #                  then includes per-benchmark speedups
 #   -pattern RE    benchmarks to run (default: all)
@@ -13,7 +13,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_7.json
+OUT=BENCH_8.json
 OLD=
 PATTERN=.
 while [ $# -gt 0 ]; do
@@ -34,22 +34,23 @@ echo "== go test -bench $PATTERN -benchtime=$BENCHTIME -count=$COUNT"
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" \
     -count "$COUNT" . | tee "$raw"
 
-# Allocation-regression guard: the steady-state benchmark rewinds to a
-# warmup snapshot and re-simulates in place, which must not allocate once
-# backing arrays reach capacity. Any allocs/op > 0 is a regression in the
-# snapshot/restore reuse or the batched quantum path.
-if grep -qE '^BenchmarkClusterRunSteady\b' "$raw"; then
-    if grep -E '^BenchmarkClusterRunSteady\b' "$raw" |
+# Allocation-regression guard: the steady-state benchmarks (plain and
+# pressured) rewind to a warmup snapshot and re-simulate in place, which
+# must not allocate once backing arrays reach capacity. Any allocs/op > 0
+# is a regression in the snapshot/restore reuse or a batched quantum path
+# (the pressured variant exercises the stall-replay fold).
+if grep -qE '^BenchmarkClusterRunSteady' "$raw"; then
+    if grep -E '^BenchmarkClusterRunSteady' "$raw" |
         awk '{ for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op" && $i + 0 > 0) exit 1 }'; then
         :
     else
-        echo "bench.sh: BenchmarkClusterRunSteady allocates in steady state" >&2
+        echo "bench.sh: a BenchmarkClusterRunSteady* variant allocates in steady state" >&2
         exit 1
     fi
 fi
 
 label=$(git rev-parse --short HEAD 2>/dev/null || echo dev)
-PAIR=BenchmarkClusterRun=BenchmarkClusterRunTraced,BenchmarkSeedGridFresh=BenchmarkSeedGridFork
+PAIR=BenchmarkClusterRun=BenchmarkClusterRunTraced,BenchmarkSeedGridFresh=BenchmarkSeedGridFork,BenchmarkClusterRunPressuredDense=BenchmarkClusterRunPressured
 if [ -n "$OLD" ]; then
     go run ./cmd/benchjson -label "$label" -old "$OLD" -pair "$PAIR" <"$raw" >"$OUT"
 else

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Profile helper: runs one benchmark or CLI invocation with CPU and heap
+# profiles and prints the top CPU consumers, so perf PRs start from a
+# flame graph instead of guesswork. Profiles land in prof/ for later
+# `go tool pprof` sessions (web, flamegraph, -list <func>).
+#
+# Usage:
+#   scripts/profile.sh bench <BenchmarkRegex> [go-test-args...]
+#       e.g. scripts/profile.sh bench 'BenchmarkClusterRunPressured$'
+#   scripts/profile.sh vrsim  [vrsim-args...]
+#       e.g. scripts/profile.sh vrsim -group 1 -level 5 -policy vr
+#   scripts/profile.sh vrbench [vrbench-args...]
+#       e.g. scripts/profile.sh vrbench -exp seeds
+# Environment: BENCHTIME (default 20x), TOP (default 15 rows).
+set -eu
+cd "$(dirname "$0")/.."
+
+TOP=${TOP:-15}
+BENCHTIME=${BENCHTIME:-20x}
+mkdir -p prof
+
+mode=${1:-}
+[ -n "$mode" ] || { sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//' >&2; exit 2; }
+shift
+
+case "$mode" in
+bench)
+    pattern=${1:?"bench mode needs a benchmark regex"}
+    shift
+    go test -run '^$' -bench "$pattern" -benchtime "$BENCHTIME" \
+        -cpuprofile prof/cpu.out -memprofile prof/mem.out \
+        -o prof/bench.test "$@" .
+    bin=prof/bench.test
+    ;;
+vrsim | vrbench)
+    go build -o "prof/$mode" "./cmd/$mode"
+    "prof/$mode" -cpuprofile prof/cpu.out -memprofile prof/mem.out "$@"
+    bin=prof/$mode
+    ;;
+*)
+    echo "profile.sh: unknown mode '$mode' (want bench, vrsim, or vrbench)" >&2
+    exit 2
+    ;;
+esac
+
+echo
+echo "== top $TOP by CPU (full profiles in prof/cpu.out, prof/mem.out)"
+go tool pprof -top -nodecount "$TOP" "$bin" prof/cpu.out
+echo "profile.sh: inspect with: go tool pprof $bin prof/cpu.out"
