@@ -550,3 +550,54 @@ func BenchmarkClusterRunSteadyPressured(b *testing.B) {
 		run()
 	}
 }
+
+// BenchmarkClusterRunSteadyMetrics is the steady-state rewind loop with
+// the full live-telemetry fan-out attached: a stream tracer feeding a
+// metrics series and a flight recorder. It pins the telemetry hot path's
+// allocation contract — folding every event into atomic counters,
+// histograms, partition gauges, and the anomaly ring must not allocate
+// once the series' backing arrays exist. scripts/bench.sh fails the
+// snapshot if allocs/op is nonzero.
+func BenchmarkClusterRunSteadyMetrics(b *testing.B) {
+	const warmup = 5 * time.Minute
+	const window = time.Second
+	tr := benchClusterTrace(b)
+	sched, err := core.NewVReconfiguration(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cluster.Cluster1()
+	cfg.Quantum = 10 * time.Millisecond
+	cfg.Obs = obs.NewStreamTracer()
+	cfg.Obs.SetMetrics(obs.NewRegistry().Series("vr", tr.Name, 1))
+	cfg.Obs.SetFlightRecorder(obs.NewFlightRecorder(obs.FlightConfig{}))
+	c, err := cluster.New(cfg, sched)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Start(tr); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.RunToDivergence(warmup); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func() {
+		b.Helper()
+		if err := c.Restore(snap); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.RunToDivergence(warmup + window); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // prime: series partitions and ring reach steady-state capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}

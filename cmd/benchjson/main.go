@@ -6,6 +6,12 @@
 // ns/op with the speedup factor. The raw lines are preserved verbatim in
 // the JSON so benchstat can be run on extracted old/new sections at any
 // later point in the trajectory.
+//
+// With -baseline PREV.json and -gate Bench=maxpct it also acts as a CI
+// regression gate: after writing the snapshot it compares each gated
+// benchmark's min ns/op against the baseline snapshot and exits 3 when the
+// regression exceeds the budget. Benchmarks missing from either side are
+// warned about and skipped, never failed.
 package main
 
 import (
@@ -128,6 +134,83 @@ func parse(r io.Reader) (env []string, benches []bench, raw []string, err error)
 	return env, benches, raw, sc.Err()
 }
 
+// minMetric takes the minimum of one metric over a benchmark's runs — the
+// least-noise estimate of a benchmark's true cost; ok is false when no run
+// reported it.
+func minMetric(b bench, unit string) (float64, bool) {
+	best, n := 0.0, 0
+	for _, r := range b.Runs {
+		if v, found := r.Metrics[unit]; found {
+			if n == 0 || v < best {
+				best = v
+			}
+			n++
+		}
+	}
+	return best, n > 0
+}
+
+// gateSpec is one -gate entry: fail when Name's min ns/op regresses more
+// than MaxPct percent over the -baseline snapshot.
+type gateSpec struct {
+	Name   string
+	MaxPct float64
+}
+
+// parseGates parses "-gate BenchmarkA=2,BenchmarkB=5".
+func parseGates(s string) ([]gateSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []gateSpec
+	for _, spec := range strings.Split(s, ",") {
+		name, pctStr, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("-gate entry %q is not Bench=maxpct", spec)
+		}
+		pct, err := strconv.ParseFloat(pctStr, 64)
+		if err != nil || pct < 0 {
+			return nil, fmt.Errorf("-gate entry %q: bad percentage", spec)
+		}
+		out = append(out, gateSpec{Name: name, MaxPct: pct})
+	}
+	return out, nil
+}
+
+// checkGates compares min ns/op of each gated benchmark against the
+// baseline snapshot, returning the failures. Benchmarks absent from either
+// side are warned about and skipped — a gate should catch regressions, not
+// break when a bench pattern changes.
+func checkGates(gates []gateSpec, baseline *snapshot, benches []bench) []string {
+	baseBy := map[string]bench{}
+	for _, b := range baseline.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	newBy := map[string]bench{}
+	for _, b := range benches {
+		newBy[b.Name] = b
+	}
+	var failures []string
+	for _, g := range gates {
+		oldNs, ok1 := minMetric(baseBy[g.Name], "ns/op")
+		newNs, ok2 := minMetric(newBy[g.Name], "ns/op")
+		if !ok1 || !ok2 || oldNs == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: gate %s skipped: benchmark missing from %s snapshot\n",
+				g.Name, map[bool]string{true: "current", false: "baseline"}[ok1])
+			continue
+		}
+		deltaPct := 100 * (newNs - oldNs) / oldNs
+		if deltaPct > g.MaxPct {
+			failures = append(failures, fmt.Sprintf("%s regressed %.2f%% (%.0f -> %.0f ns/op, budget %.1f%%)",
+				g.Name, deltaPct, oldNs, newNs, g.MaxPct))
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: gate %s ok: %+.2f%% (%.0f -> %.0f ns/op, budget %.1f%%)\n",
+				g.Name, deltaPct, oldNs, newNs, g.MaxPct)
+		}
+	}
+	return failures
+}
+
 // meanMetric averages one metric over a benchmark's runs; ok is false when
 // no run reported it.
 func meanMetric(b bench, unit string) (float64, bool) {
@@ -211,7 +294,19 @@ func main() {
 	label := flag.String("label", "", "label for this snapshot (e.g. git revision)")
 	oldLabel := flag.String("old-label", "", "label for the -old snapshot")
 	pairsArg := flag.String("pair", "", "comma-separated Base=Variant benchmark pairs to compare within this snapshot")
+	baselinePath := flag.String("baseline", "", "previous snapshot JSON to gate against (see -gate)")
+	gateArg := flag.String("gate", "", "comma-separated Bench=maxpct regression budgets vs -baseline; exit 3 on breach")
 	flag.Parse()
+
+	gates, err := parseGates(*gateArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(gates) > 0 && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -gate requires -baseline")
+		os.Exit(1)
+	}
 
 	env, benches, raw, err := parse(os.Stdin)
 	if err != nil {
@@ -288,10 +383,32 @@ func main() {
 		})
 	}
 
+	// The snapshot is written before any gate verdict so a regression run
+	// still leaves a usable BENCH_N.json behind for diagnosis.
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(snap); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+
+	if len(gates) > 0 {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var baseline snapshot
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *baselinePath, err)
+			os.Exit(1)
+		}
+		failures := checkGates(gates, &baseline, benches)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchjson: GATE FAILED:", f)
+		}
+		if len(failures) > 0 {
+			os.Exit(3)
+		}
 	}
 }

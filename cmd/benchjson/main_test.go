@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchWith(name string, nsOps ...float64) bench {
+	b := bench{Name: name}
+	for _, v := range nsOps {
+		b.Runs = append(b.Runs, run{Iterations: 1, Metrics: map[string]float64{"ns/op": v}})
+	}
+	return b
+}
+
+func TestParseGates(t *testing.T) {
+	gates, err := parseGates("BenchmarkClusterRun=2,BenchmarkOther=5.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gates) != 2 || gates[0].Name != "BenchmarkClusterRun" || gates[0].MaxPct != 2 || gates[1].MaxPct != 5.5 {
+		t.Fatalf("gates = %+v", gates)
+	}
+	if g, err := parseGates(""); err != nil || g != nil {
+		t.Fatalf("empty spec: %v %v", g, err)
+	}
+	for _, bad := range []string{"NoEquals", "Bench=abc", "Bench=-1"} {
+		if _, err := parseGates(bad); err == nil {
+			t.Errorf("parseGates(%q): want error", bad)
+		}
+	}
+}
+
+func TestCheckGates(t *testing.T) {
+	baseline := &snapshot{Benchmarks: []bench{benchWith("BenchmarkClusterRun", 110, 100, 105)}}
+	gates := []gateSpec{{Name: "BenchmarkClusterRun", MaxPct: 2}}
+
+	// Within budget: min 101 vs min 100 is +1%.
+	ok := []bench{benchWith("BenchmarkClusterRun", 101, 140)}
+	if fails := checkGates(gates, baseline, ok); len(fails) != 0 {
+		t.Fatalf("within-budget run failed: %v", fails)
+	}
+
+	// Past budget: min 103 vs 100 is +3%.
+	slow := []bench{benchWith("BenchmarkClusterRun", 103, 150)}
+	fails := checkGates(gates, baseline, slow)
+	if len(fails) != 1 || !strings.Contains(fails[0], "BenchmarkClusterRun regressed 3.00%") {
+		t.Fatalf("fails = %v", fails)
+	}
+
+	// Missing from the current run: skipped, not failed.
+	if fails := checkGates(gates, baseline, nil); len(fails) != 0 {
+		t.Fatalf("missing bench failed the gate: %v", fails)
+	}
+	// Missing from the baseline: also skipped.
+	if fails := checkGates(gates, &snapshot{}, ok); len(fails) != 0 {
+		t.Fatalf("missing baseline failed the gate: %v", fails)
+	}
+}
+
+func TestMinMetric(t *testing.T) {
+	b := benchWith("X", 5, 3, 9)
+	if v, ok := minMetric(b, "ns/op"); !ok || v != 3 {
+		t.Fatalf("min = %v ok=%v", v, ok)
+	}
+	if _, ok := minMetric(b, "allocs/op"); ok {
+		t.Fatal("missing metric reported ok")
+	}
+	if _, ok := minMetric(bench{}, "ns/op"); ok {
+		t.Fatal("empty bench reported ok")
+	}
+}

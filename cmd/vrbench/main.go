@@ -19,8 +19,10 @@ import (
 	"strings"
 	"time"
 
+	"vrcluster/internal/cluster"
 	"vrcluster/internal/experiments"
 	"vrcluster/internal/faults"
+	"vrcluster/internal/obs"
 	"vrcluster/internal/profiling"
 	"vrcluster/internal/runner"
 	"vrcluster/internal/workload"
@@ -48,9 +50,20 @@ func run(args []string) (err error) {
 		fork     = fs.Bool("fork", true, "share the simulated warmup prefix across grid cells via snapshot/fork (-exp seeds, -exp ablate); results are identical either way")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		metrics  = fs.String("metrics", "", "serve live telemetry on this address while experiments run (e.g. 127.0.0.1:9091)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		srv, serr := cluster.ServeMetrics(*metrics, reg)
+		if serr != nil {
+			return serr
+		}
+		fmt.Fprintf(os.Stderr, "vrbench: serving metrics on http://%s/metrics\n", srv.Addr())
+		defer srv.Close()
 	}
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -67,7 +80,7 @@ func run(args []string) (err error) {
 	}
 	out := os.Stdout
 	cfg := func(g workload.Group) experiments.RunConfig {
-		return experiments.RunConfig{Group: g, Seed: *seed, Quantum: *quantum, Parallel: *parallel}
+		return experiments.RunConfig{Group: g, Seed: *seed, Quantum: *quantum, Parallel: *parallel, Metrics: reg}
 	}
 
 	needGroup1 := *exp == "all" || *exp == "fig1" || *exp == "fig2" || *exp == "analytic" || *exp == "intervals"

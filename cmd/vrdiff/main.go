@@ -1,0 +1,74 @@
+// Command vrdiff compares two structured scheduler traces (JSONL written
+// by vrsim -trace or a flight-recorder dump) and reports the first
+// divergent event with aligned context windows and a per-kind count
+// delta. It is the debugging workflow behind every equivalence suite:
+// when dense-vs-batched or fork-vs-fresh traces differ, vrdiff points at
+// the exact virtual instant they part ways instead of "the bytes differ".
+//
+// Exit status: 0 when the traces are identical, 1 when they diverge,
+// 2 on usage or read errors.
+//
+// Examples:
+//
+//	vrsim -group 1 -level 3 -policy vr -trace a.jsonl
+//	vrsim -group 1 -level 3 -policy vr -parallel 8 -trace b.jsonl
+//	vrdiff a.jsonl b.jsonl
+//	vrdiff -context 10 dense.jsonl batched.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vrcluster/internal/obs"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vrdiff:", err)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("vrdiff", flag.ContinueOnError)
+	context := fs.Int("context", 3, "events of shared history and continuation to show around the divergence")
+	if err := fs.Parse(args); err != nil {
+		return 2, nil // flag package already printed the error
+	}
+	if fs.NArg() != 2 {
+		return 2, fmt.Errorf("usage: vrdiff [-context N] a.jsonl b.jsonl")
+	}
+	a, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	b, err := readTrace(fs.Arg(1))
+	if err != nil {
+		return 2, err
+	}
+	equal, err := obs.WriteDiffReport(out, fs.Arg(0), fs.Arg(1), a, b, *context)
+	if err != nil {
+		return 2, err
+	}
+	if equal {
+		return 0, nil
+	}
+	return 1, nil
+}
+
+func readTrace(path string) ([]obs.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vrcluster/internal/obs"
+)
+
+func writeEvents(t *testing.T, path string, events []obs.Event) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteJSONL(f, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testEvents(n int) []obs.Event {
+	out := make([]obs.Event, n)
+	for i := range out {
+		out[i] = obs.Event{
+			At: time.Duration(i) * time.Second, Kind: obs.KindJobSubmit,
+			Node: -1, Job: int32(i), Aux: -1,
+		}
+	}
+	return out
+}
+
+func TestVrdiffIdentical(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	writeEvents(t, a, testEvents(5))
+	writeEvents(t, b, testEvents(5))
+	var out bytes.Buffer
+	code, err := run([]string{a, b}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "traces identical: 5 events") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+// TestVrdiffPerturbed is the acceptance check: a deliberately perturbed
+// trace must be pinpointed at the exact first divergent event, with exit
+// status 1.
+func TestVrdiffPerturbed(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	events := testEvents(20)
+	writeEvents(t, a, events)
+	perturbed := append([]obs.Event(nil), events...)
+	perturbed[13].Kind = obs.KindJobDone
+	writeEvents(t, b, perturbed)
+	var out bytes.Buffer
+	code, err := run([]string{"-context", "2", a, b}, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"first divergence at event 13:",
+		"shared context (events 11..12):",
+		"job-done",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestVrdiffErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.jsonl")
+	writeEvents(t, good, testEvents(2))
+
+	// Missing file.
+	if code, err := run([]string{good, filepath.Join(dir, "missing.jsonl")}, new(bytes.Buffer)); code != 2 || err == nil {
+		t.Fatalf("missing file: code=%d err=%v", code, err)
+	}
+
+	// Malformed JSONL reports its line number.
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{\"t\":0,\"k\":\"job-submit\",\"n\":-1,\"j\":0,\"a\":-1,\"v\":0,\"f\":0}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, err := run([]string{good, bad}, new(bytes.Buffer))
+	if code != 2 || err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed: code=%d err=%v", code, err)
+	}
+
+	// Usage error.
+	if code, err := run([]string{good}, new(bytes.Buffer)); code != 2 || err == nil {
+		t.Fatalf("usage: code=%d err=%v", code, err)
+	}
+}

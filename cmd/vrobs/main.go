@@ -48,7 +48,7 @@ func run(args []string, out io.Writer) error {
 	defer f.Close()
 	events, err := obs.ReadJSONL(f)
 	if err != nil {
-		return err
+		return fmt.Errorf("%s: %w", fs.Arg(0), err)
 	}
 	if len(events) == 0 {
 		return fmt.Errorf("%s holds no events", fs.Arg(0))

@@ -2,13 +2,18 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"vrcluster/internal/cluster"
+	"vrcluster/internal/core"
 	"vrcluster/internal/obs"
+	"vrcluster/internal/trace"
+	"vrcluster/internal/workload"
 )
 
 // writeSampleTrace builds a small hand-made trace exercising every report
@@ -100,5 +105,75 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{empty}, &bytes.Buffer{}); err == nil {
 		t.Error("empty trace should fail")
+	}
+}
+
+// TestFlightDumpReplaysThroughVrobs is the acceptance check for the
+// flight recorder's output contract: a dump produced during a real run is
+// a plain JSONL event trace that the summarizer consumes without errors.
+func TestFlightDumpReplaysThroughVrobs(t *testing.T) {
+	dir := t.TempDir()
+	dump := filepath.Join(dir, "flight.jsonl")
+	sink := func(reason string, events []obs.Event) error {
+		f, err := os.Create(dump)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteJSONL(f, events); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	tr, err := trace.Standard(workload.Group1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.NewVReconfiguration(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.Cluster1()
+	cfg.Quantum = 10 * time.Millisecond
+	cfg.Obs = obs.NewStreamTracer()
+	rec := obs.NewFlightRecorder(obs.FlightConfig{Ring: 512, Sink: sink})
+	cfg.Obs.SetFlightRecorder(rec)
+	c, err := cluster.New(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	rec.Trigger("test")
+	if rec.Err() != nil {
+		t.Fatal(rec.Err())
+	}
+	if rec.Dumps() != 1 {
+		t.Fatalf("dumps = %d", rec.Dumps())
+	}
+
+	if err := run([]string{dump}, io.Discard); err != nil {
+		t.Fatalf("vrobs failed on flight dump: %v", err)
+	}
+}
+
+// TestVrobsMalformedLineNumber pins the CI contract: a malformed record
+// fails with its line number and path in the error.
+func TestVrobsMalformedLineNumber(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	content := "{\"t\":0,\"k\":\"job-submit\",\"n\":-1,\"j\":0,\"a\":-1,\"v\":0,\"f\":0}\n" +
+		"{\"t\":1,\"k\":\"job-submit\",\"n\":-1,\"j\":1,\"a\":-1,\"v\":0,\"f\":0}\n" +
+		"{\"t\":2,\"k\":\"no-such-kind\",\"n\":-1,\"j\":2,\"a\":-1,\"v\":0,\"f\":0}\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{path}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want line 3 mentioned", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("err = %v, want path mentioned", err)
 	}
 }

@@ -27,9 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"vrcluster/internal/cluster"
@@ -91,6 +94,12 @@ func run(args []string) (err error) {
 		partMTTR   = fs.Duration("partmttr", 0, "mean partition heal time (0 = partmtbf/10)")
 		auditOn    = fs.Bool("audit", false, "run the invariant auditor every control period (fails the run on a violation)")
 		autoscale  = fs.Int("autoscale", 0, "autoscaler fleet cap: join nodes under load, drain idle ones (0 = off)")
+		metricsOn  = fs.String("metrics", "", "serve live metrics on this address (host:port) while simulating: /metrics Prometheus text, /metrics.json snapshot")
+		metricsHld = fs.Duration("metricshold", 0, "keep the metrics endpoint up this long after the runs finish (with -metrics)")
+		flightFile = fs.String("flightrec", "", "anomaly flight recorder: dump the last -flightring events as JSONL here on an audit violation, SLO breach, or SIGQUIT")
+		flightRing = fs.Int("flightring", obs.DefaultFlightRing, "flight-recorder ring capacity in events (with -flightrec)")
+		sloEpisode = fs.Duration("sloepisode", 0, "flight-recorder trigger: blocking episode open longer than this (with -flightrec)")
+		sloMigrate = fs.Duration("slomigration", 0, "flight-recorder trigger: migration transfer cost above this (with -flightrec)")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -109,6 +118,9 @@ func run(args []string) (err error) {
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if err := validateFaultFlags(set, *faultsOn, *mtbf, *mttr, *dropRate, *abortRate, *domains); err != nil {
+		return err
+	}
+	if err := validateTelemetryFlags(set, *metricsOn, *flightFile, *flightRing); err != nil {
 		return err
 	}
 	if *workFile != "" {
@@ -131,6 +143,28 @@ func run(args []string) (err error) {
 		lease:      *lease,
 		audit:      *auditOn,
 		autoscale:  *autoscale,
+		flightPath: *flightFile,
+		flightRing: *flightRing,
+		sloEpisode: *sloEpisode,
+		sloMigrate: *sloMigrate,
+	}
+	if *metricsOn != "" {
+		sc.metrics = obs.NewRegistry()
+		srv, serr := cluster.ServeMetrics(*metricsOn, sc.metrics)
+		if serr != nil {
+			return serr
+		}
+		fmt.Fprintf(os.Stderr, "vrsim: serving metrics on http://%s/metrics\n", srv.Addr())
+		defer func() {
+			if err == nil && *metricsHld > 0 {
+				fmt.Fprintf(os.Stderr, "vrsim: holding metrics endpoint for %v\n", *metricsHld)
+				time.Sleep(*metricsHld)
+			}
+			srv.Close()
+		}()
+	}
+	if *flightFile != "" {
+		watchSigquit()
 	}
 	if *faultsOn {
 		crash, err := faults.ParseCrashPolicy(*crashArg)
@@ -290,6 +324,27 @@ func validateFaultFlags(set map[string]bool, faultsOn bool, mtbf, mttr time.Dura
 	return nil
 }
 
+// validateTelemetryFlags rejects telemetry flags that would silently do
+// nothing: -metricshold without -metrics, and flight-recorder knobs
+// without -flightrec. set holds the flags explicitly passed.
+func validateTelemetryFlags(set map[string]bool, metricsAddr, flightPath string, ring int) error {
+	if metricsAddr == "" && set["metricshold"] {
+		return fmt.Errorf("-metricshold needs -metrics to take effect")
+	}
+	if flightPath == "" {
+		for _, name := range []string{"flightring", "sloepisode", "slomigration"} {
+			if set[name] {
+				return fmt.Errorf("-%s needs -flightrec to take effect", name)
+			}
+		}
+		return nil
+	}
+	if ring <= 0 {
+		return fmt.Errorf("-flightring %d must be positive", ring)
+	}
+	return nil
+}
+
 // exportObs writes the collected event trace to the requested files. A nil
 // tracer with non-empty paths cannot happen: run() sizes the tracer before
 // simulate whenever either path is set.
@@ -351,6 +406,68 @@ type simConfig struct {
 	// keeps every event (for the file exporters), >0 keeps a bounded
 	// tail (for -events).
 	obsCap int
+
+	// Live telemetry. metrics attaches a registry series per run; the
+	// flight fields configure the anomaly recorder. Either forces a
+	// stream tracer when tracing is otherwise disabled, so events flow
+	// to the consumers without being retained.
+	metrics    *obs.Registry
+	flightPath string
+	flightRing int
+	sloEpisode time.Duration
+	sloMigrate time.Duration
+}
+
+// flightRecs tracks every live flight recorder so a SIGQUIT can request a
+// dump from each; the dumps happen on the simulation goroutines at their
+// next event.
+var (
+	flightMu   sync.Mutex
+	flightRecs []*obs.FlightRecorder
+	sigOnce    sync.Once
+)
+
+func registerFlight(r *obs.FlightRecorder) {
+	flightMu.Lock()
+	flightRecs = append(flightRecs, r)
+	flightMu.Unlock()
+}
+
+// watchSigquit arms the operator dump trigger: SIGQUIT asks every live
+// flight recorder to dump at its next event instead of killing the
+// process with a stack dump.
+func watchSigquit() {
+	sigOnce.Do(func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGQUIT)
+		go func() {
+			for range ch {
+				flightMu.Lock()
+				for _, r := range flightRecs {
+					r.RequestDump()
+				}
+				flightMu.Unlock()
+			}
+		}()
+	})
+}
+
+// flightSink writes each dump as JSONL: the first to path, later dumps to
+// path.2, path.3, ... so repeated triggers never clobber the first
+// artifact.
+func flightSink(path string) func(string, []obs.Event) error {
+	n := 0
+	return func(reason string, events []obs.Event) error {
+		n++
+		p := path
+		if n > 1 {
+			p = fmt.Sprintf("%s.%d", path, n)
+		}
+		fmt.Fprintf(os.Stderr, "vrsim: flight recorder dump (%s): %d events -> %s\n", reason, len(events), p)
+		return writeFileWith(p, func(f *os.File) error {
+			return obs.WriteJSONL(f, events)
+		})
+	}
 }
 
 // simulate runs tr on a newly built cluster under the configured policy.
@@ -373,6 +490,20 @@ func (sc simConfig) simulate(tr *trace.Trace) (*cluster.Cluster, cluster.Schedul
 	}
 	if sc.obsCap >= 0 {
 		cfg.Obs = obs.NewTracer(sc.obsCap)
+	} else if sc.metrics != nil || sc.flightPath != "" {
+		// Telemetry without trace retention: events stream to the
+		// metrics series and flight-recorder ring only.
+		cfg.Obs = obs.NewStreamTracer()
+	}
+	if sc.flightPath != "" {
+		rec := obs.NewFlightRecorder(obs.FlightConfig{
+			Ring:         sc.flightRing,
+			EpisodeSLO:   sc.sloEpisode,
+			MigrationSLO: sc.sloMigrate,
+			Sink:         flightSink(sc.flightPath),
+		})
+		cfg.Obs.SetFlightRecorder(rec)
+		registerFlight(rec)
 	}
 	cfg.Faults = sc.faultPlan
 	cfg.Audit = sc.audit
@@ -396,6 +527,9 @@ func (sc simConfig) simulate(tr *trace.Trace) (*cluster.Cluster, cluster.Schedul
 			s.LoadSharing().AdmitFloorFrac = sc.floorFrac
 		}
 	}
+	if sc.metrics != nil {
+		cfg.Obs.SetMetrics(sc.metrics.Series(sched.Name(), tr.Name, trace.LevelFromName(tr.Name)))
+	}
 	c, err := cluster.New(cfg, sched)
 	if err != nil {
 		return nil, nil, nil, err
@@ -403,6 +537,15 @@ func (sc simConfig) simulate(tr *trace.Trace) (*cluster.Cluster, cluster.Schedul
 	res, err := c.Run(tr)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	if fr := c.Tracer().Flight(); fr != nil {
+		if fr.Triggers() > 0 {
+			fmt.Fprintf(os.Stderr, "vrsim: flight recorder fired %d time(s), %d dump(s) written (last: %s)\n",
+				fr.Triggers(), fr.Dumps(), fr.LastReason())
+		}
+		if ferr := fr.Err(); ferr != nil {
+			return nil, nil, nil, fmt.Errorf("flight recorder dump: %w", ferr)
+		}
 	}
 	return c, sched, res, nil
 }
@@ -435,7 +578,11 @@ func runLevels(sc simConfig, group int, seed int64, parallel int, levels []int, 
 		if err != nil {
 			return nil, err
 		}
-		c, _, res, err := sc.simulate(tr)
+		scl := sc
+		if scl.flightPath != "" {
+			scl.flightPath = levelPath(scl.flightPath, lvl)
+		}
+		c, _, res, err := scl.simulate(tr)
 		if err != nil {
 			return nil, err
 		}

@@ -11,7 +11,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
+	"vrcluster/internal/obs"
 	"vrcluster/internal/stats"
 	"vrcluster/internal/trace"
 	"vrcluster/internal/workload"
@@ -43,6 +46,9 @@ func run(args []string) error {
 	}
 
 	if *inspect != "" {
+		if strings.HasSuffix(*inspect, ".jsonl") {
+			return inspectEvents(*inspect)
+		}
 		return inspectTrace(*inspect)
 	}
 
@@ -84,6 +90,39 @@ func run(args []string) error {
 		out = f
 	}
 	return tr.Encode(out)
+}
+
+// inspectEvents summarizes a structured event stream (vrsim -trace output
+// or a flight-recorder dump) instead of a workload trace: event count,
+// virtual-time span, and per-kind totals. A malformed line fails with its
+// line number so CI logs point at the bad record.
+func inspectEvents(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("event stream: %s\n", path)
+	if len(events) == 0 {
+		fmt.Println(" no events")
+		return nil
+	}
+	fmt.Printf(" %d events over %s..%s virtual time\n",
+		len(events), events[0].At, events[len(events)-1].At)
+	counts := obs.CountByKind(events)
+	kinds := make([]obs.Kind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Printf("  %-18s %6d\n", k, counts[k])
+	}
+	return nil
 }
 
 func inspectTrace(path string) error {

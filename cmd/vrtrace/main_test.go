@@ -7,6 +7,9 @@ import (
 	"strings"
 	"testing"
 
+	"time"
+
+	"vrcluster/internal/obs"
 	"vrcluster/internal/trace"
 	"vrcluster/internal/workload"
 )
@@ -111,5 +114,52 @@ func TestErrors(t *testing.T) {
 	}
 	if err := run([]string{"-inspect", "/nonexistent.json"}); err == nil {
 		t.Error("missing inspect file should fail")
+	}
+}
+
+// TestInspectJSONLEvents covers the event-stream inspect path: a .jsonl
+// argument summarizes per-kind counts instead of decoding a workload
+// trace.
+func TestInspectJSONLEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	events := []obs.Event{
+		{At: 0, Kind: obs.KindJobSubmit, Node: -1, Job: 1, Aux: -1},
+		{At: time.Second, Kind: obs.KindJobAdmit, Node: 0, Job: 1, Aux: -1, Val: 40},
+		{At: 2 * time.Second, Kind: obs.KindJobDone, Node: 0, Job: 1, Aux: -1},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteJSONL(f, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-inspect", path}); err != nil {
+		t.Fatal(err)
+	}
+
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-inspect", empty}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInspectJSONLMalformed pins the CI contract shared with vrobs: a
+// malformed line fails with its number and the file path.
+func TestInspectJSONLMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	content := "{\"t\":0,\"k\":\"job-submit\",\"n\":-1,\"j\":0,\"a\":-1,\"v\":0,\"f\":0}\nbroken\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-inspect", path})
+	if err == nil || !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), path) {
+		t.Fatalf("err = %v, want line 2 and path mentioned", err)
 	}
 }

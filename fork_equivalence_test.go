@@ -126,7 +126,8 @@ func forkedRun(t *testing.T, cfg cluster.Config, vr bool, comp, head *trace.Trac
 	return res, events
 }
 
-// compareForkFresh requires byte-identical results and event traces.
+// compareForkFresh requires byte-identical results and event traces; a
+// trace mismatch fails with the structured divergence report.
 func compareForkFresh(t *testing.T, fresh, forked *metrics.Result, freshEv, forkedEv []obs.Event) {
 	t.Helper()
 	if !reflect.DeepEqual(fresh, forked) {
@@ -134,32 +135,8 @@ func compareForkFresh(t *testing.T, fresh, forked *metrics.Result, freshEv, fork
 	}
 	fj, kj := traceJSONL(t, freshEv), traceJSONL(t, forkedEv)
 	if string(fj) != string(kj) {
-		n := len(fj)
-		if len(kj) < n {
-			n = len(kj)
-		}
-		i := 0
-		for i < n && fj[i] == kj[i] {
-			i++
-		}
-		lo := i - 200
-		if lo < 0 {
-			lo = 0
-		}
-		hi := i + 200
-		t.Fatalf("forked trace differs from fresh at byte %d (fresh %d bytes, forked %d):\nfresh:  ...%s\nforked: ...%s",
-			i, len(fj), len(kj), clip(fj, lo, hi), clip(kj, lo, hi))
+		reportTraceDivergence(t, "fresh", "forked", freshEv, forkedEv)
 	}
-}
-
-func clip(b []byte, lo, hi int) []byte {
-	if hi > len(b) {
-		hi = len(b)
-	}
-	if lo > len(b) {
-		lo = len(b)
-	}
-	return b[lo:hi]
 }
 
 // TestForkVsFreshEquivalence covers all five levels under both policies.

@@ -81,9 +81,16 @@ func (v Violation) Error() string {
 
 // Auditor accumulates checks and violations over a run.
 type Auditor struct {
-	checks     int
-	violations []Violation
+	checks      int
+	violations  []Violation
+	onViolation func(Violation)
 }
+
+// SetOnViolation installs a hook invoked synchronously for every recorded
+// violation, before it is returned as an error. The cluster uses it to
+// trigger the anomaly flight recorder so the trace ring is dumped at the
+// exact moment the invariant broke.
+func (a *Auditor) SetOnViolation(fn func(Violation)) { a.onViolation = fn }
 
 // New builds an auditor.
 func New() *Auditor { return &Auditor{} }
@@ -114,6 +121,9 @@ func (a *Auditor) Violations() []Violation {
 func (a *Auditor) fail(at time.Duration, invariant, format string, args ...any) error {
 	v := Violation{At: at, Invariant: invariant, Detail: fmt.Sprintf(format, args...)}
 	a.violations = append(a.violations, v)
+	if a.onViolation != nil {
+		a.onViolation(v)
+	}
 	return v
 }
 

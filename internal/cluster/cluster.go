@@ -325,6 +325,14 @@ func New(cfg Config, sched Scheduler) (*Cluster, error) {
 	}
 	if cfg.Audit {
 		c.auditor = audit.New()
+		// Any invariant violation triggers the anomaly flight recorder
+		// (when one is attached), so the trace ring is dumped at the
+		// exact virtual instant the invariant broke.
+		c.auditor.SetOnViolation(func(v audit.Violation) {
+			if fr := c.obs.Flight(); fr != nil {
+				fr.Trigger("audit:" + v.Invariant)
+			}
+		})
 	}
 	if cfg.SharedNetwork {
 		link, err := netlink.New(c.engine, cfg.Network.BandwidthMbps)
@@ -369,17 +377,20 @@ func (c *Cluster) emit(k obs.Kind, nodeID, jobID, aux int, val float64, flags ui
 }
 
 // sampleObs emits the periodic per-node time series (idle memory,
-// resident jobs, reserved/down flags) alongside the metrics sample.
+// resident jobs, reserved/down flags) alongside the metrics sample, and
+// refreshes the live telemetry gauges when a metrics series is attached.
 func (c *Cluster) sampleObs() {
 	if c.obs == nil {
 		return
 	}
 	now := c.engine.Now()
 	c.obs.Reserve(len(c.nodes))
+	live := 0
 	for _, n := range c.nodes {
 		if n.Removed() {
 			continue
 		}
+		live++
 		var fl uint8
 		if n.Reserved() {
 			fl |= obs.FlagReserved
@@ -399,6 +410,13 @@ func (c *Cluster) sampleObs() {
 			Aux:   int32(n.NumJobs()),
 			Val:   n.IdleMB(),
 		})
+	}
+	if m := c.obs.Metrics(); m != nil {
+		pressured := 0
+		for _, w := range c.pressured {
+			pressured += bits.OnesCount64(w)
+		}
+		m.SetClusterGauges(now, len(c.pending), c.outstanding, c.activeCount, pressured, live)
 	}
 }
 

@@ -1,0 +1,54 @@
+// Live metrics endpoint: a small stdlib HTTP server exposing a metrics
+// registry while simulations run faster than real time. /metrics serves
+// the Prometheus text exposition, /metrics.json the structured snapshot,
+// /healthz a liveness probe. Scrapes read the registry's atomics
+// concurrently with the simulation goroutines — no locks on any hot path.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"vrcluster/internal/obs"
+)
+
+// MetricsServer is a running metrics endpoint.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeMetrics starts serving reg on addr (host:port; ":0" picks a free
+// port, useful for tests and CI smokes). The server runs until Close.
+func ServeMetrics(addr string, reg *obs.Registry) (*MetricsServer, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("cluster: nil metrics registry")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &MetricsServer{ln: ln, srv: srv}, nil
+}
+
+// Addr reports the bound address (resolving ":0").
+func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
+
+// Close stops the server.
+func (m *MetricsServer) Close() error { return m.srv.Close() }

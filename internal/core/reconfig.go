@@ -343,6 +343,19 @@ func sortedIDs[V any](dst []int, m map[int]V) []int {
 func (m *Manager) OnControl(c *cluster.Cluster, now time.Duration) {
 	if tr := c.Tracer(); tr.Enabled() {
 		m.trackEpisode(tr, m.blockingExists(c), now)
+		if s := tr.Metrics(); s != nil {
+			s.SetReconfigStats(obs.ReconfigStats{
+				BlockedEvents:   int64(m.stats.BlockedEvents),
+				Started:         int64(m.stats.Started),
+				Matured:         int64(m.stats.Matured),
+				ReleasedEarly:   int64(m.stats.ReleasedEarly),
+				TimedOut:        int64(m.stats.TimedOut),
+				LeaseExpired:    int64(m.stats.LeaseExpired),
+				LeaseReselected: int64(m.stats.LeaseReselected),
+				CapReached:      int64(m.stats.CapReached),
+				NoCandidate:     int64(m.stats.NoCandidate),
+			})
+		}
 	}
 	if len(m.reserving) == 0 && len(m.reserved) == 0 {
 		return

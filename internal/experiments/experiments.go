@@ -15,6 +15,7 @@ import (
 	"vrcluster/internal/cluster"
 	"vrcluster/internal/core"
 	"vrcluster/internal/metrics"
+	"vrcluster/internal/obs"
 	"vrcluster/internal/policy"
 	"vrcluster/internal/runner"
 	"vrcluster/internal/trace"
@@ -42,6 +43,14 @@ type RunConfig struct {
 	// Purely an execution strategy — results are byte-identical to the
 	// fresh strategy, enforced by the fork-vs-fresh equivalence suite.
 	Fork bool
+
+	// Metrics, when set, attaches live telemetry to every run built by
+	// this config: each run gets a stream tracer feeding the registry
+	// series labeled (policy, trace, level), so vrbench -metrics serves
+	// in-flight aggregates while the grids execute. Runs that already
+	// carry a tracer (via a mutate hook) keep it and gain the series.
+	// Purely observational: the simulated schedule is unchanged.
+	Metrics *obs.Registry
 }
 
 // DefaultSeed keeps every published number reproducible.
@@ -170,6 +179,12 @@ func runOne(cfg RunConfig, tr *trace.Trace, sched cluster.Scheduler, mutate func
 	ccfg.Quantum = cfg.Quantum
 	if mutate != nil {
 		mutate(&ccfg)
+	}
+	if cfg.Metrics != nil {
+		if ccfg.Obs == nil {
+			ccfg.Obs = obs.NewStreamTracer()
+		}
+		ccfg.Obs.SetMetrics(cfg.Metrics.Series(sched.Name(), tr.Name, trace.LevelFromName(tr.Name)))
 	}
 	c, err := cluster.New(ccfg, sched)
 	if err != nil {

@@ -1,0 +1,155 @@
+// Trace divergence diffing: given two event streams that should be
+// identical (dense vs batched execution, fork vs fresh, two parallel
+// widths), locate the first divergent event and explain it — the aligned
+// context windows around the divergence and the per-kind count delta.
+// This replaces "the JSONL bytes differ, good luck" as the debugging
+// workflow for every equivalence suite; cmd/vrdiff exposes it on files.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Diff locates where two event streams part ways.
+type Diff struct {
+	// Index is the position of the first differing event, or -1 when the
+	// shorter stream is a prefix of the longer (including full equality).
+	Index int
+
+	// ALen and BLen are the stream lengths.
+	ALen, BLen int
+}
+
+// Equal reports whether the streams are identical.
+func (d Diff) Equal() bool { return d.Index < 0 && d.ALen == d.BLen }
+
+// DiffEvents compares two streams event by event.
+func DiffEvents(a, b []Event) Diff {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return Diff{Index: i, ALen: len(a), BLen: len(b)}
+		}
+	}
+	return Diff{Index: -1, ALen: len(a), BLen: len(b)}
+}
+
+// FormatEvent renders one event in the fixed-width text form shared by
+// WriteText and the diff reports.
+func FormatEvent(ev Event) string {
+	s := fmt.Sprintf("%14.6fs  %-18s", ev.At.Seconds(), ev.Kind.String())
+	if ev.Node >= 0 {
+		s += fmt.Sprintf(" node=%-3d", ev.Node)
+	}
+	if ev.Job >= 0 {
+		s += fmt.Sprintf(" job=%-4d", ev.Job)
+	}
+	if ev.Aux >= 0 {
+		s += fmt.Sprintf(" aux=%-4d", ev.Aux)
+	}
+	if ev.Val != 0 {
+		s += " val=" + strconv.FormatFloat(ev.Val, 'g', 6, 64)
+	}
+	if ev.Flags != 0 {
+		s += fmt.Sprintf(" flags=%#x", ev.Flags)
+	}
+	return s
+}
+
+// WriteDiffReport writes a human-readable divergence report for two
+// streams labeled aName and bName: the first divergent event, context
+// lines of aligned history before it (and the conflicting continuations
+// after), and the per-kind count delta. It returns whether the streams
+// are equal; equal streams write a single confirmation line.
+func WriteDiffReport(w io.Writer, aName, bName string, a, b []Event, context int) (bool, error) {
+	bw := bufio.NewWriter(w)
+	d := DiffEvents(a, b)
+	if d.Equal() {
+		fmt.Fprintf(bw, "traces identical: %d events\n", d.ALen)
+		return true, bw.Flush()
+	}
+	if context <= 0 {
+		context = 3
+	}
+	fmt.Fprintf(bw, "%s: %d events\n%s: %d events\n", aName, d.ALen, bName, d.BLen)
+	at := d.Index
+	if at < 0 {
+		// One stream is a strict prefix of the other: the divergence is
+		// the first event past the shared prefix.
+		at = min(d.ALen, d.BLen)
+		fmt.Fprintf(bw, "first divergence at event %d: %s ends, %s continues\n",
+			at, shorterName(aName, bName, d), longerName(aName, bName, d))
+	} else {
+		fmt.Fprintf(bw, "first divergence at event %d:\n", at)
+		fmt.Fprintf(bw, "  %s: %s\n", aName, FormatEvent(a[at]))
+		fmt.Fprintf(bw, "  %s: %s\n", bName, FormatEvent(b[at]))
+	}
+	lo := at - context
+	if lo < 0 {
+		lo = 0
+	}
+	if lo < at {
+		fmt.Fprintf(bw, "shared context (events %d..%d):\n", lo, at-1)
+		for i := lo; i < at; i++ {
+			fmt.Fprintf(bw, "    %s\n", FormatEvent(a[i]))
+		}
+	}
+	writeTail(bw, aName, a, at, context)
+	writeTail(bw, bName, b, at, context)
+	writeKindDelta(bw, aName, bName, a, b)
+	return false, bw.Flush()
+}
+
+// writeTail prints the stream's continuation from the divergence point.
+func writeTail(w io.Writer, name string, evs []Event, at, context int) {
+	if at >= len(evs) {
+		fmt.Fprintf(w, "%s: no further events\n", name)
+		return
+	}
+	hi := at + context
+	if hi > len(evs) {
+		hi = len(evs)
+	}
+	fmt.Fprintf(w, "%s continues (events %d..%d of %d):\n", name, at, hi-1, len(evs))
+	for i := at; i < hi; i++ {
+		fmt.Fprintf(w, "  > %s\n", FormatEvent(evs[i]))
+	}
+}
+
+// writeKindDelta prints per-kind counts for every kind whose count
+// differs between the streams.
+func writeKindDelta(w io.Writer, aName, bName string, a, b []Event) {
+	ca, cb := CountByKind(a), CountByKind(b)
+	header := false
+	for k := Kind(1); k < kindCount; k++ {
+		na, nb := ca[k], cb[k]
+		if na == nb {
+			continue
+		}
+		if !header {
+			fmt.Fprintf(w, "per-kind count delta (%s vs %s):\n", aName, bName)
+			header = true
+		}
+		fmt.Fprintf(w, "  %-20s %6d  %6d  (%+d)\n", k.String(), na, nb, nb-na)
+	}
+	if !header {
+		fmt.Fprintln(w, "per-kind counts match; streams differ only in event payloads or order")
+	}
+}
+
+func shorterName(aName, bName string, d Diff) string {
+	if d.ALen < d.BLen {
+		return aName
+	}
+	return bName
+}
+
+func longerName(aName, bName string, d Diff) string {
+	if d.ALen < d.BLen {
+		return bName
+	}
+	return aName
+}

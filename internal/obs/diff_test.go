@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func diffStream(n int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = Event{At: time.Duration(i) * time.Second, Kind: KindJobSubmit, Node: -1, Job: int32(i), Aux: -1}
+	}
+	return out
+}
+
+func TestDiffEvents(t *testing.T) {
+	a := diffStream(5)
+	b := diffStream(5)
+	if d := DiffEvents(a, b); !d.Equal() {
+		t.Fatalf("identical streams diff = %+v", d)
+	}
+	b[3].Kind = KindJobDone
+	d := DiffEvents(a, b)
+	if d.Equal() || d.Index != 3 {
+		t.Fatalf("diff = %+v, want index 3", d)
+	}
+	// Prefix case: no differing event, unequal lengths.
+	d = DiffEvents(a, a[:2])
+	if d.Equal() || d.Index != -1 {
+		t.Fatalf("prefix diff = %+v", d)
+	}
+}
+
+func TestWriteDiffReportEqual(t *testing.T) {
+	var sb strings.Builder
+	equal, err := WriteDiffReport(&sb, "a", "b", diffStream(4), diffStream(4), 3)
+	if err != nil || !equal {
+		t.Fatalf("equal=%v err=%v", equal, err)
+	}
+	if !strings.Contains(sb.String(), "traces identical: 4 events") {
+		t.Fatalf("output = %q", sb.String())
+	}
+}
+
+func TestWriteDiffReportDivergent(t *testing.T) {
+	a := diffStream(10)
+	b := diffStream(10)
+	b[6].Kind = KindJobDone
+	var sb strings.Builder
+	equal, err := WriteDiffReport(&sb, "dense.jsonl", "batched.jsonl", a, b, 2)
+	if err != nil || equal {
+		t.Fatalf("equal=%v err=%v", equal, err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"first divergence at event 6:",
+		"shared context (events 4..5):",
+		"dense.jsonl continues (events 6..7 of 10):",
+		"batched.jsonl continues (events 6..7 of 10):",
+		"per-kind count delta",
+		"job-done",
+		"(+1)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDiffReportPrefix(t *testing.T) {
+	a := diffStream(6)
+	var sb strings.Builder
+	equal, err := WriteDiffReport(&sb, "long", "short", a, a[:4], 3)
+	if err != nil || equal {
+		t.Fatalf("equal=%v err=%v", equal, err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "first divergence at event 4: short ends, long continues") {
+		t.Fatalf("report = %s", out)
+	}
+	if !strings.Contains(out, "short: no further events") {
+		t.Fatalf("report = %s", out)
+	}
+}
+
+// TestWriteDiffReportPayloadOnly covers the same-counts case: only the
+// payload of one event differs, so the kind table collapses to a note.
+func TestWriteDiffReportPayloadOnly(t *testing.T) {
+	a := diffStream(5)
+	b := diffStream(5)
+	b[2].Val = 99
+	var sb strings.Builder
+	if equal, err := WriteDiffReport(&sb, "a", "b", a, b, 1); err != nil || equal {
+		t.Fatalf("equal=%v err=%v", equal, err)
+	}
+	if !strings.Contains(sb.String(), "per-kind counts match") {
+		t.Fatalf("report = %s", sb.String())
+	}
+}

@@ -87,7 +87,10 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// The scanner failed on the line after the last one delivered
+		// (e.g. a line exceeding the buffer); report it by number so
+		// tooling can point at the offending record.
+		return nil, fmt.Errorf("obs: line %d: %w", line+1, err)
 	}
 	return out, nil
 }
@@ -205,27 +208,12 @@ func WritePerfetto(w io.Writer, events []Event) error {
 	return bw.Flush()
 }
 
-// WriteText prints events one per line for terminal consumption.
+// WriteText prints events one per line for terminal consumption, in the
+// same form the divergence reports use (FormatEvent).
 func WriteText(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
 	for _, ev := range events {
-		fmt.Fprintf(bw, "%14.6fs  %-18s", ev.At.Seconds(), ev.Kind.String())
-		if ev.Node >= 0 {
-			fmt.Fprintf(bw, " node=%-3d", ev.Node)
-		}
-		if ev.Job >= 0 {
-			fmt.Fprintf(bw, " job=%-4d", ev.Job)
-		}
-		if ev.Aux >= 0 {
-			fmt.Fprintf(bw, " aux=%-4d", ev.Aux)
-		}
-		if ev.Val != 0 {
-			fmt.Fprintf(bw, " val=%s", strconv.FormatFloat(ev.Val, 'g', 6, 64))
-		}
-		if ev.Flags != 0 {
-			fmt.Fprintf(bw, " flags=%#x", ev.Flags)
-		}
-		fmt.Fprintln(bw)
+		fmt.Fprintln(bw, FormatEvent(ev))
 	}
 	return bw.Flush()
 }

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// recordingSink captures every dump the recorder makes.
+type recordingSink struct {
+	reasons []string
+	dumps   [][]Event
+	err     error
+}
+
+func (rs *recordingSink) fn(reason string, events []Event) error {
+	rs.reasons = append(rs.reasons, reason)
+	rs.dumps = append(rs.dumps, events)
+	return rs.err
+}
+
+func frEv(at time.Duration, k Kind) Event {
+	return Event{At: at, Kind: k, Node: -1, Job: -1, Aux: -1}
+}
+
+// TestFlightRingWraparound fills a 4-slot ring with 6 events and checks
+// the dump holds exactly the last 4 in emission order — the boundary the
+// wrapped/pos bookkeeping must get right.
+func TestFlightRingWraparound(t *testing.T) {
+	sink := &recordingSink{}
+	r := NewFlightRecorder(FlightConfig{Ring: 4, Sink: sink.fn})
+	for i := 1; i <= 6; i++ {
+		r.observe(frEv(time.Duration(i)*time.Second, KindJobSubmit))
+	}
+	r.Trigger("test")
+	if len(sink.dumps) != 1 {
+		t.Fatalf("dumps = %d, want 1", len(sink.dumps))
+	}
+	got := sink.dumps[0]
+	if len(got) != 4 {
+		t.Fatalf("dump has %d events, want 4", len(got))
+	}
+	for i, want := range []time.Duration{3, 4, 5, 6} {
+		if got[i].At != want*time.Second {
+			t.Fatalf("dump[%d].At = %v, want %v", i, got[i].At, want*time.Second)
+		}
+	}
+}
+
+// TestFlightRingPartial covers the pre-wrap case: fewer events than the
+// ring holds.
+func TestFlightRingPartial(t *testing.T) {
+	r := NewFlightRecorder(FlightConfig{Ring: 8})
+	r.observe(frEv(time.Second, KindJobSubmit))
+	r.observe(frEv(2*time.Second, KindJobDone))
+	got := r.Events()
+	if len(got) != 2 || got[0].At != time.Second || got[1].Kind != KindJobDone {
+		t.Fatalf("events = %v", got)
+	}
+}
+
+func TestFlightEpisodeSLO(t *testing.T) {
+	sink := &recordingSink{}
+	r := NewFlightRecorder(FlightConfig{Ring: 16, EpisodeSLO: 5 * time.Second, Sink: sink.fn})
+	r.observe(frEv(0, KindEpisodeOpen))
+	r.observe(frEv(3*time.Second, KindJobSubmit))
+	if r.Triggers() != 0 {
+		t.Fatal("SLO fired before the deadline")
+	}
+	// The episode is still open; any event past the SLO fires, without
+	// waiting for the close — that is the wedge case.
+	r.observe(frEv(6*time.Second, KindJobSubmit))
+	if r.Triggers() != 1 || r.LastReason() != "slo-episode" {
+		t.Fatalf("triggers = %d reason %q", r.Triggers(), r.LastReason())
+	}
+	// Further events in the same breaching episode do not re-fire.
+	r.observe(frEv(7*time.Second, KindJobSubmit))
+	if r.Triggers() != 1 {
+		t.Fatalf("episode re-fired: %d", r.Triggers())
+	}
+	// A new episode re-arms the check.
+	r.observe(frEv(10*time.Second, KindEpisodeClose))
+	r.observe(frEv(20*time.Second, KindEpisodeOpen))
+	r.observe(frEv(26*time.Second, KindJobSubmit))
+	if r.Triggers() != 2 {
+		t.Fatalf("new episode did not fire: %d", r.Triggers())
+	}
+}
+
+func TestFlightMigrationSLO(t *testing.T) {
+	sink := &recordingSink{}
+	r := NewFlightRecorder(FlightConfig{Ring: 16, MigrationSLO: 2 * time.Second, Sink: sink.fn})
+	e := frEv(time.Second, KindMigrationComplete)
+	e.Val = 1.5
+	r.observe(e)
+	if r.Triggers() != 0 {
+		t.Fatal("fast migration fired the SLO")
+	}
+	e.Val = 3
+	r.observe(e)
+	if r.Triggers() != 1 || r.LastReason() != "slo-migration" {
+		t.Fatalf("triggers = %d reason %q", r.Triggers(), r.LastReason())
+	}
+	// Only the first breaching migration dumps.
+	r.observe(e)
+	if r.Triggers() != 1 {
+		t.Fatalf("migration SLO re-fired: %d", r.Triggers())
+	}
+}
+
+func TestFlightMaxDumps(t *testing.T) {
+	sink := &recordingSink{}
+	r := NewFlightRecorder(FlightConfig{Ring: 4, MaxDumps: 2, Sink: sink.fn})
+	r.observe(frEv(time.Second, KindJobSubmit))
+	for i := 0; i < 5; i++ {
+		r.Trigger("manual")
+	}
+	if r.Dumps() != 2 {
+		t.Fatalf("dumps = %d, want 2 (capped)", r.Dumps())
+	}
+	if r.Triggers() != 5 {
+		t.Fatalf("triggers = %d, want 5 (still counted)", r.Triggers())
+	}
+}
+
+func TestFlightRequestDump(t *testing.T) {
+	sink := &recordingSink{}
+	r := NewFlightRecorder(FlightConfig{Ring: 4, Sink: sink.fn})
+	r.RequestDump()
+	if r.Dumps() != 0 {
+		t.Fatal("dump happened before the next event")
+	}
+	r.observe(frEv(time.Second, KindJobSubmit))
+	if r.Dumps() != 1 || r.LastReason() != "signal" {
+		t.Fatalf("dumps = %d reason %q", r.Dumps(), r.LastReason())
+	}
+	// The request is consumed; the next event does not dump again.
+	r.observe(frEv(2*time.Second, KindJobSubmit))
+	if r.Dumps() != 1 {
+		t.Fatalf("request not consumed: %d dumps", r.Dumps())
+	}
+}
+
+func TestFlightSinkError(t *testing.T) {
+	sink := &recordingSink{err: errors.New("disk full")}
+	r := NewFlightRecorder(FlightConfig{Ring: 4, Sink: sink.fn})
+	r.observe(frEv(time.Second, KindJobSubmit))
+	r.Trigger("a")
+	r.Trigger("b")
+	if r.Err() == nil || r.Err().Error() != "disk full" {
+		t.Fatalf("err = %v", r.Err())
+	}
+}
+
+func TestFlightNilSafety(t *testing.T) {
+	var r *FlightRecorder
+	r.Trigger("x")
+	r.RequestDump()
+	if r.Events() != nil || r.Triggers() != 0 || r.Dumps() != 0 || r.LastReason() != "" || r.Err() != nil {
+		t.Fatal("nil recorder must be inert")
+	}
+}

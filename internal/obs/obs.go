@@ -165,11 +165,24 @@ type Event struct {
 // *Tracer is the disabled tracer: every method is safe to call on it and
 // does nothing, so instrumented hot paths pay only a nil check when no
 // sink is installed.
+//
+// Beyond retention, a tracer fans the live stream out to two optional
+// streaming consumers attached with SetMetrics and SetFlightRecorder: a
+// metrics Series folding every event into atomic counters/histograms, and
+// a FlightRecorder keeping a bounded anomaly ring. Both cost one nil check
+// each on the enabled path and nothing at all when tracing is off.
 type Tracer struct {
 	buf     []Event
 	cap     int // >0 bounds the ring to the last cap events
 	start   int // ring head once the bounded buffer has wrapped
 	dropped uint64
+
+	// discard marks a stream-only tracer: events flow to the attached
+	// consumers but none are retained, and Snapshot/Restore are no-ops.
+	discard bool
+
+	metrics *Series
+	rec     *FlightRecorder
 }
 
 // NewTracer builds a sink. capacity > 0 keeps only the most recent
@@ -183,6 +196,49 @@ func NewTracer(capacity int) *Tracer {
 	return t
 }
 
+// NewStreamTracer builds a retention-free sink: every event still reaches
+// the attached metrics Series and FlightRecorder, but nothing is buffered,
+// Events() stays empty, and Snapshot/Restore are allocation-free no-ops.
+// This is the sink for live telemetry on long runs (vrsim -metrics without
+// -trace), where a full trace would be gigabytes but the aggregates and
+// the anomaly ring are all that matter.
+func NewStreamTracer() *Tracer {
+	return &Tracer{discard: true}
+}
+
+// SetMetrics attaches a metrics series; every subsequent event is folded
+// into it. Nil detaches; nil tracers ignore the call.
+func (t *Tracer) SetMetrics(s *Series) {
+	if t != nil {
+		t.metrics = s
+	}
+}
+
+// Metrics returns the attached metrics series, if any.
+func (t *Tracer) Metrics() *Series {
+	if t == nil {
+		return nil
+	}
+	return t.metrics
+}
+
+// SetFlightRecorder attaches an anomaly flight recorder; every subsequent
+// event enters its bounded ring and is screened against its SLOs. Nil
+// detaches; nil tracers ignore the call.
+func (t *Tracer) SetFlightRecorder(r *FlightRecorder) {
+	if t != nil {
+		t.rec = r
+	}
+}
+
+// Flight returns the attached flight recorder, if any.
+func (t *Tracer) Flight() *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec
+}
+
 // Enabled reports whether a sink is installed. Emit sites that must do
 // preparatory work (building per-node samples, recomputing a predicate)
 // gate on it; plain emissions just call Emit.
@@ -191,6 +247,15 @@ func (t *Tracer) Enabled() bool { return t != nil }
 // Emit appends one event. On a nil tracer it is a no-op.
 func (t *Tracer) Emit(ev Event) {
 	if t == nil {
+		return
+	}
+	if t.metrics != nil {
+		t.metrics.observe(ev)
+	}
+	if t.rec != nil {
+		t.rec.observe(ev)
+	}
+	if t.discard {
 		return
 	}
 	if t.cap > 0 && len(t.buf) == t.cap {
@@ -212,7 +277,7 @@ func (t *Tracer) Emit(ev Event) {
 // re-copying the whole buffer every sampling tick. Bounded rings never
 // grow; nil tracers and non-positive n are no-ops.
 func (t *Tracer) Reserve(n int) {
-	if t == nil || t.cap > 0 || n <= 0 {
+	if t == nil || t.cap > 0 || t.discard || n <= 0 {
 		return
 	}
 	if cap(t.buf)-len(t.buf) >= n {
@@ -261,10 +326,15 @@ type TracerSnapshot struct {
 }
 
 // Snapshot captures the tracer's state (a deep copy of the buffer). Nil
-// tracers snapshot to nil.
+// tracers snapshot to nil. Stream tracers retain nothing, so their
+// snapshot is empty — metrics and flight-recorder state is live telemetry
+// and deliberately not rewound by cluster forks.
 func (t *Tracer) Snapshot() *TracerSnapshot {
 	if t == nil {
 		return nil
+	}
+	if t.discard {
+		return &TracerSnapshot{}
 	}
 	return &TracerSnapshot{
 		events:  append([]Event(nil), t.buf...),
@@ -279,7 +349,7 @@ func (t *Tracer) Snapshot() *TracerSnapshot {
 // them) are immune to appends from the next fork: forked runs get
 // independent sinks even though they share the Tracer object.
 func (t *Tracer) Restore(s *TracerSnapshot) {
-	if t == nil || s == nil {
+	if t == nil || s == nil || t.discard {
 		return
 	}
 	grow := 0

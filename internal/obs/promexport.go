@@ -1,0 +1,274 @@
+// Prometheus text-format and JSON exporters for the metrics registry.
+// Stdlib only: the text format is simple enough to emit by hand, and
+// keeping the exporter here means cmd binaries and the HTTP endpoint
+// share one rendering of the registry.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// SeriesSnapshot is one series' point-in-time view, used by the JSON
+// endpoint and tests.
+type SeriesSnapshot struct {
+	Policy string `json:"policy"`
+	Trace  string `json:"trace"`
+	Level  int    `json:"level"`
+
+	Events map[string]uint64 `json:"events"`
+
+	VirtualSeconds  float64 `json:"virtual_seconds"`
+	PendingJobs     int64   `json:"pending_jobs"`
+	OutstandingJobs int64   `json:"outstanding_jobs"`
+	ActiveNodes     int64   `json:"active_nodes"`
+	PressuredNodes  int64   `json:"pressured_nodes"`
+	LiveNodes       int64   `json:"live_nodes"`
+	ReservedNodes   int64   `json:"reserved_nodes"`
+	EpisodesOpen    int64   `json:"episodes_open"`
+
+	Reconfig ReconfigStats `json:"reconfig"`
+
+	Partitions []PartitionGauge `json:"partitions,omitempty"`
+
+	MigrationLatency HistogramSnapshot `json:"migration_latency_seconds"`
+	EpisodeDuration  HistogramSnapshot `json:"episode_seconds"`
+	ReservationHold  HistogramSnapshot `json:"reservation_hold_seconds"`
+}
+
+// HistogramSnapshot is a histogram's wire form: bucket upper edges plus
+// counts (one more than edges; the last is the overflow bucket).
+type HistogramSnapshot struct {
+	Count  int       `json:"count"`
+	Sum    float64   `json:"sum"`
+	Edges  []float64 `json:"edges"`
+	Counts []int     `json:"counts"`
+}
+
+func histogramSnapshot(h *AtomicHistogram) HistogramSnapshot {
+	sh := h.Snapshot()
+	return HistogramSnapshot{
+		Count:  sh.N(),
+		Sum:    sh.Sum(),
+		Edges:  sh.Edges(),
+		Counts: sh.Counts(),
+	}
+}
+
+// SnapshotSeries reads the series into a value.
+func (s *Series) SnapshotSeries() SeriesSnapshot {
+	out := SeriesSnapshot{
+		Policy:           s.policy,
+		Trace:            s.trace,
+		Level:            s.level,
+		Events:           make(map[string]uint64),
+		VirtualSeconds:   float64(s.virtualNanos.Load()) / 1e9,
+		PendingJobs:      s.pendingJobs.Load(),
+		OutstandingJobs:  s.outstandingJobs.Load(),
+		ActiveNodes:      s.activeNodes.Load(),
+		PressuredNodes:   s.pressuredNodes.Load(),
+		LiveNodes:        s.liveNodes.Load(),
+		ReservedNodes:    s.reservedNodes.Load(),
+		EpisodesOpen:     s.episodesOpen.Load(),
+		Reconfig:         s.reconfigStats(),
+		Partitions:       s.Partitions(),
+		MigrationLatency: histogramSnapshot(s.migrationLatency),
+		EpisodeDuration:  histogramSnapshot(s.episodeDuration),
+		ReservationHold:  histogramSnapshot(s.reservationHold),
+	}
+	for k := Kind(1); k < kindCount; k++ {
+		if n := s.kinds[k].Load(); n > 0 {
+			out.Events[k.String()] = n
+		}
+	}
+	return out
+}
+
+// RegistrySnapshot is the JSON endpoint's payload.
+type RegistrySnapshot struct {
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// SnapshotAll reads every series in registration order.
+func (r *Registry) SnapshotAll() RegistrySnapshot {
+	var out RegistrySnapshot
+	r.Each(func(s *Series) {
+		out.Series = append(out.Series, s.SnapshotSeries())
+	})
+	return out
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.SnapshotAll())
+}
+
+// promEscape escapes a label value per the Prometheus exposition format.
+func promEscape(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// baseLabels renders the series' shared label set without braces.
+func baseLabels(s SeriesSnapshot) string {
+	out := fmt.Sprintf(`policy=%q,trace=%q`, promEscape(s.Policy), promEscape(s.Trace))
+	if s.Level >= 0 {
+		out += fmt.Sprintf(`,level="%d"`, s.Level)
+	}
+	return out
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	snaps := r.SnapshotAll().Series
+
+	family := func(name, typ, help string) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	family("vr_events_total", "counter", "Scheduler trace events observed, by kind.")
+	for _, s := range snaps {
+		base := baseLabels(s)
+		for k := Kind(1); k < kindCount; k++ {
+			if n, ok := s.Events[k.String()]; ok {
+				fmt.Fprintf(bw, "vr_events_total{%s,kind=%q} %d\n", base, k.String(), n)
+			}
+		}
+	}
+
+	gauges := []struct {
+		name, help string
+		value      func(SeriesSnapshot) string
+	}{
+		{"vr_virtual_time_seconds", "Simulated time reached by the run.",
+			func(s SeriesSnapshot) string { return promFloat(s.VirtualSeconds) }},
+		{"vr_pending_jobs", "Jobs blocked in the pending queue.",
+			func(s SeriesSnapshot) string { return strconv.FormatInt(s.PendingJobs, 10) }},
+		{"vr_outstanding_jobs", "Jobs submitted but not yet completed.",
+			func(s SeriesSnapshot) string { return strconv.FormatInt(s.OutstandingJobs, 10) }},
+		{"vr_active_nodes", "Workstations with resident jobs.",
+			func(s SeriesSnapshot) string { return strconv.FormatInt(s.ActiveNodes, 10) }},
+		{"vr_pressured_nodes", "Workstations under memory pressure.",
+			func(s SeriesSnapshot) string { return strconv.FormatInt(s.PressuredNodes, 10) }},
+		{"vr_live_nodes", "Workstations that are cluster members (not removed).",
+			func(s SeriesSnapshot) string { return strconv.FormatInt(s.LiveNodes, 10) }},
+		{"vr_reserved_nodes", "Workstations currently held by a reservation.",
+			func(s SeriesSnapshot) string { return strconv.FormatInt(s.ReservedNodes, 10) }},
+		{"vr_blocking_episodes_open", "Cluster-wide blocking episodes currently open.",
+			func(s SeriesSnapshot) string { return strconv.FormatInt(s.EpisodesOpen, 10) }},
+	}
+	for _, g := range gauges {
+		family(g.name, "gauge", g.help)
+		for _, s := range snaps {
+			fmt.Fprintf(bw, "%s{%s} %s\n", g.name, baseLabels(s), g.value(s))
+		}
+	}
+
+	counters := []struct {
+		name, help string
+		value      func(ReconfigStats) int64
+	}{
+		{"vr_reconfig_blocked_events_total", "Blocked-job events seen by the reconfiguration manager.",
+			func(r ReconfigStats) int64 { return r.BlockedEvents }},
+		{"vr_reconfig_started_total", "Reserving periods started.",
+			func(r ReconfigStats) int64 { return r.Started }},
+		{"vr_reconfig_matured_total", "Reservations promoted to special service.",
+			func(r ReconfigStats) int64 { return r.Matured }},
+		{"vr_reconfig_released_early_total", "Reservations released before maturity.",
+			func(r ReconfigStats) int64 { return r.ReleasedEarly }},
+		{"vr_reconfig_timed_out_total", "Reservations released by timeout.",
+			func(r ReconfigStats) int64 { return r.TimedOut }},
+		{"vr_reconfig_lease_expired_total", "Reservation leases expired or broken.",
+			func(r ReconfigStats) int64 { return r.LeaseExpired }},
+		{"vr_reconfig_lease_reselected_total", "Broken leases re-established elsewhere.",
+			func(r ReconfigStats) int64 { return r.LeaseReselected }},
+		{"vr_reconfig_cap_reached_total", "Reservation attempts refused by the concurrency cap.",
+			func(r ReconfigStats) int64 { return r.CapReached }},
+		{"vr_reconfig_no_candidate_total", "Reservation attempts with no eligible workstation.",
+			func(r ReconfigStats) int64 { return r.NoCandidate }},
+	}
+	for _, c := range counters {
+		family(c.name, "counter", c.help)
+		for _, s := range snaps {
+			fmt.Fprintf(bw, "%s{%s} %d\n", c.name, baseLabels(s), c.value(s.Reconfig))
+		}
+	}
+
+	family("vr_partition_resident_jobs", "gauge", "Resident jobs summed over a 64-node board partition at the last sample tick.")
+	for _, s := range snaps {
+		base := baseLabels(s)
+		for _, p := range s.Partitions {
+			fmt.Fprintf(bw, "vr_partition_resident_jobs{%s,partition=\"%d\"} %d\n", base, p.Partition, p.Jobs)
+		}
+	}
+	family("vr_partition_idle_mb", "gauge", "Idle memory summed over a 64-node board partition at the last sample tick.")
+	for _, s := range snaps {
+		base := baseLabels(s)
+		for _, p := range s.Partitions {
+			fmt.Fprintf(bw, "vr_partition_idle_mb{%s,partition=\"%d\"} %s\n", base, p.Partition, promFloat(p.IdleMB))
+		}
+	}
+
+	hists := []struct {
+		name, help string
+		value      func(SeriesSnapshot) HistogramSnapshot
+	}{
+		{"vr_migration_latency_seconds", "Total transfer cost of completed migrations.",
+			func(s SeriesSnapshot) HistogramSnapshot { return s.MigrationLatency }},
+		{"vr_episode_seconds", "Length of closed cluster-wide blocking episodes.",
+			func(s SeriesSnapshot) HistogramSnapshot { return s.EpisodeDuration }},
+		{"vr_reservation_hold_seconds", "Time workstations were held by released reservations.",
+			func(s SeriesSnapshot) HistogramSnapshot { return s.ReservationHold }},
+	}
+	for _, h := range hists {
+		family(h.name, "histogram", h.help)
+		for _, s := range snaps {
+			base := baseLabels(s)
+			hs := h.value(s)
+			cum := 0
+			for i, e := range hs.Edges {
+				cum += hs.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket{%s,le=%q} %d\n", h.name, base, promFloat(e), cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{%s,le=\"+Inf\"} %d\n", h.name, base, hs.Count)
+			fmt.Fprintf(bw, "%s_sum{%s} %s\n", h.name, base, promFloat(hs.Sum))
+			fmt.Fprintf(bw, "%s_count{%s} %d\n", h.name, base, hs.Count)
+		}
+	}
+	return bw.Flush()
+}

@@ -45,6 +45,82 @@ func NewHistogram(edges []float64) (*Histogram, error) {
 	return h, nil
 }
 
+// ErrMerge is returned by Merge and HistogramFromCounts when the bucket
+// geometry or summary values are inconsistent.
+var ErrMerge = errors.New("stats: histogram bucket edges or summary values are incompatible")
+
+// HistogramFromCounts rebuilds a histogram from externally accumulated
+// per-bucket counts (len(edges)+1 entries, the last being the overflow
+// bucket) plus the exact sum/min/max of the observations. It is the bridge
+// from lock-free atomic accumulators (obs.AtomicHistogram) back into the
+// percentile/render machinery here. The observation count is the bucket
+// sum. Empty counts yield an empty histogram regardless of sum/min/max;
+// non-empty ones reject NaN or inverted min/max so the percentile
+// invariants (clamping to [min, max]) stay sound.
+func HistogramFromCounts(edges []float64, counts []int, sum, min, max float64) (*Histogram, error) {
+	h, err := NewHistogram(edges)
+	if err != nil {
+		return nil, err
+	}
+	if len(counts) != len(h.counts) {
+		return nil, fmt.Errorf("%w: %d counts for %d buckets", ErrMerge, len(counts), len(h.counts))
+	}
+	n := 0
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("%w: negative count in bucket %d", ErrMerge, i)
+		}
+		h.counts[i] = c
+		n += c
+	}
+	if n == 0 {
+		return h, nil
+	}
+	if math.IsNaN(sum) || math.IsNaN(min) || math.IsNaN(max) || min > max {
+		return nil, fmt.Errorf("%w: sum=%g min=%g max=%g over %d observations", ErrMerge, sum, min, max, n)
+	}
+	h.n = n
+	h.sum = sum
+	h.min = min
+	h.max = max
+	return h, nil
+}
+
+// Merge folds another histogram's observations into h. The bucket edges
+// must match exactly; merging an empty histogram (or nil) is a no-op.
+// Parallel runner shards each fill a private histogram and the collector
+// merges them, which is exact: counts, n, and sum are additive and min/max
+// combine by comparison.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil || o.n == 0 {
+		return nil
+	}
+	if len(h.edges) != len(o.edges) {
+		return fmt.Errorf("%w: %d vs %d edges", ErrMerge, len(h.edges), len(o.edges))
+	}
+	for i := range h.edges {
+		if h.edges[i] != o.edges[i] {
+			return fmt.Errorf("%w: edge %d is %g vs %g", ErrMerge, i, h.edges[i], o.edges[i])
+		}
+	}
+	if h.n == 0 {
+		h.min, h.max = o.min, o.max
+	} else {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.n += o.n
+	h.sum += o.sum
+	return nil
+}
+
 // Add folds one observation in. NaN observations are ignored.
 func (h *Histogram) Add(x float64) {
 	if math.IsNaN(x) {
@@ -78,6 +154,9 @@ func (h *Histogram) Add(x float64) {
 
 // N reports the number of observations.
 func (h *Histogram) N() int { return h.n }
+
+// Sum reports the exact sum of the observations.
+func (h *Histogram) Sum() float64 { return h.sum }
 
 // Mean reports the exact mean of the observations, or 0 when empty.
 func (h *Histogram) Mean() float64 {

@@ -192,3 +192,126 @@ func TestHistogramRender(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramMerge(t *testing.T) {
+	edges := []float64{1, 2, 5}
+	build := func(vals ...float64) *Histogram {
+		h, err := NewHistogram(edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vals {
+			h.Add(v)
+		}
+		return h
+	}
+	a := build(0.5, 1.5, 3)
+	b := build(4, 10)
+	want := build(0.5, 1.5, 3, 4, 10)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != want.N() || a.Sum() != want.Sum() {
+		t.Fatalf("merged n=%d sum=%g, want n=%d sum=%g", a.N(), a.Sum(), want.N(), want.Sum())
+	}
+	ac, wc := a.Counts(), want.Counts()
+	for i := range wc {
+		if ac[i] != wc[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, ac[i], wc[i])
+		}
+	}
+	amin, _ := a.Min()
+	wmin, _ := want.Min()
+	amax, _ := a.Max()
+	wmax, _ := want.Max()
+	if amin != wmin || amax != wmax {
+		t.Fatalf("merged min/max = %g/%g, want %g/%g", amin, amax, wmin, wmax)
+	}
+
+	// Merging into an empty histogram adopts the source's extrema.
+	e := build()
+	if err := e.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	emin, _ := e.Min()
+	if emin != 4 {
+		t.Fatalf("empty-merge min = %g, want 4", emin)
+	}
+
+	// Empty and nil sources are no-ops.
+	before := a.N()
+	if err := a.Merge(build()); err != nil || a.N() != before {
+		t.Fatalf("empty merge changed the histogram: err=%v n=%d", err, a.N())
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("nil merge: %v", err)
+	}
+
+	// Mismatched geometry is rejected.
+	other, err := NewHistogram([]float64{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Add(2)
+	if err := a.Merge(other); err == nil {
+		t.Fatal("merge with different edges must fail")
+	}
+	shorter, err := NewHistogram([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shorter.Add(1.5)
+	if err := a.Merge(shorter); err == nil {
+		t.Fatal("merge with fewer edges must fail")
+	}
+}
+
+func TestHistogramFromCounts(t *testing.T) {
+	edges := []float64{1, 2, 5}
+	cases := []struct {
+		name          string
+		counts        []int
+		sum, min, max float64
+		wantErr       bool
+		wantN         int
+	}{
+		{name: "valid", counts: []int{1, 2, 0, 1}, sum: 14, min: 0.5, max: 10, wantN: 4},
+		{name: "empty ignores extrema", counts: []int{0, 0, 0, 0}, sum: 0, min: math.Inf(1), max: math.Inf(-1), wantN: 0},
+		{name: "wrong length", counts: []int{1, 2}, wantErr: true},
+		{name: "negative count", counts: []int{1, -1, 0, 0}, sum: 1, min: 1, max: 1, wantErr: true},
+		{name: "nan sum", counts: []int{1, 0, 0, 0}, sum: math.NaN(), min: 1, max: 1, wantErr: true},
+		{name: "nan min", counts: []int{1, 0, 0, 0}, sum: 1, min: math.NaN(), max: 1, wantErr: true},
+		{name: "inverted extrema", counts: []int{1, 0, 0, 0}, sum: 1, min: 2, max: 1, wantErr: true},
+		{name: "infinite min on nonempty", counts: []int{1, 0, 0, 0}, sum: 1, min: math.Inf(1), max: math.Inf(-1), wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, err := HistogramFromCounts(edges, tc.counts, tc.sum, tc.min, tc.max)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.N() != tc.wantN {
+				t.Fatalf("N = %d, want %d", h.N(), tc.wantN)
+			}
+			if tc.wantN > 0 {
+				mn, _ := h.Min()
+				mx, _ := h.Max()
+				if mn != tc.min || mx != tc.max || h.Sum() != tc.sum {
+					t.Fatalf("min/max/sum = %g/%g/%g", mn, mx, h.Sum())
+				}
+				if _, err := h.Percentile(95); err != nil {
+					t.Fatalf("percentile on rebuilt histogram: %v", err)
+				}
+			}
+		})
+	}
+	if _, err := HistogramFromCounts([]float64{2, 1}, []int{0, 0, 0}, 0, 0, 0); err == nil {
+		t.Fatal("bad edges must fail")
+	}
+}

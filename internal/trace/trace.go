@@ -12,6 +12,8 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"vrcluster/internal/job"
@@ -160,6 +162,21 @@ var Levels = []Level{
 
 // StandardNodes is the cluster size used by every published trace.
 const StandardNodes = 32
+
+// LevelFromName recovers the submission level from a standard trace name
+// ("SPEC-Trace-3", "App-Trace-1" — the trailing integer). Custom trace
+// names yield -1; telemetry uses that to omit the level label.
+func LevelFromName(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return -1
+	}
+	lvl, err := strconv.Atoi(name[i+1:])
+	if err != nil || lvl < 1 {
+		return -1
+	}
+	return lvl
+}
 
 // Standard builds one of the ten published traces: SPEC-Trace-n for group 1
 // or App-Trace-n for group 2, n in 1..5.

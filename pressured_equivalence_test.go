@@ -9,6 +9,7 @@
 package vrcluster_test
 
 import (
+	"bytes"
 	"fmt"
 	"reflect"
 	"testing"
@@ -97,7 +98,13 @@ func TestDenseVsBatchedEquivalencePressured(t *testing.T) {
 					t.Fatalf("pressured dense and batched results differ:\ndense:   %+v\nbatched: %+v", denseRes, batchRes)
 				}
 				if string(denseEv) != string(batchEv) {
-					t.Fatalf("pressured dense and batched JSONL traces differ (%d vs %d bytes)", len(denseEv), len(batchEv))
+					a, aerr := obs.ReadJSONL(bytes.NewReader(denseEv))
+					b, berr := obs.ReadJSONL(bytes.NewReader(batchEv))
+					if aerr != nil || berr != nil {
+						t.Fatalf("pressured dense and batched JSONL traces differ (%d vs %d bytes; reparse: %v %v)",
+							len(denseEv), len(batchEv), aerr, berr)
+					}
+					reportTraceDivergence(t, "dense", "batched", a, b)
 				}
 			})
 		}

@@ -5,15 +5,20 @@
 # trajectory is tracked PR over PR.
 #
 # Usage: scripts/bench.sh [-out FILE] [-old FILE] [-pattern REGEX]
-#   -out FILE      snapshot to write (default BENCH_8.json)
+#   -out FILE      snapshot to write (default BENCH_9.json)
 #   -old FILE      previous raw bench text to compare against; the JSON
 #                  then includes per-benchmark speedups
 #   -pattern RE    benchmarks to run (default: all)
 # Environment: COUNT (default 5), BENCHTIME (default 1x).
+#
+# When the previous snapshot (BENCH_8.json) is present, benchjson also
+# gates BenchmarkClusterRun against it: a >2% min-ns/op regression on the
+# untraced hot path fails the run with exit 3 (the telemetry layer must
+# stay a nil check when disabled).
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_8.json
+OUT=BENCH_9.json
 OLD=
 PATTERN=.
 while [ $# -gt 0 ]; do
@@ -34,11 +39,11 @@ echo "== go test -bench $PATTERN -benchtime=$BENCHTIME -count=$COUNT"
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" \
     -count "$COUNT" . | tee "$raw"
 
-# Allocation-regression guard: the steady-state benchmarks (plain and
-# pressured) rewind to a warmup snapshot and re-simulate in place, which
-# must not allocate once backing arrays reach capacity. Any allocs/op > 0
-# is a regression in the snapshot/restore reuse or a batched quantum path
-# (the pressured variant exercises the stall-replay fold).
+# Allocation-regression guard: the steady-state benchmarks (plain,
+# pressured, and metrics-fed) rewind to a warmup snapshot and re-simulate
+# in place, which must not allocate once backing arrays reach capacity.
+# Any allocs/op > 0 is a regression in the snapshot/restore reuse, a
+# batched quantum path, or the streaming metrics hot path.
 if grep -qE '^BenchmarkClusterRunSteady' "$raw"; then
     if grep -E '^BenchmarkClusterRunSteady' "$raw" |
         awk '{ for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op" && $i + 0 > 0) exit 1 }'; then
@@ -51,9 +56,20 @@ fi
 
 label=$(git rev-parse --short HEAD 2>/dev/null || echo dev)
 PAIR=BenchmarkClusterRun=BenchmarkClusterRunTraced,BenchmarkSeedGridFresh=BenchmarkSeedGridFork,BenchmarkClusterRunPressuredDense=BenchmarkClusterRunPressured
+
+# Regression gate vs the previous snapshot, when it exists. benchjson
+# skips the gate with a warning if the benchmark pattern excluded
+# BenchmarkClusterRun from this run.
+GATEARGS=
+if [ -f BENCH_8.json ] && [ "$OUT" != BENCH_8.json ]; then
+    GATEARGS="-baseline BENCH_8.json -gate BenchmarkClusterRun=2"
+fi
+
 if [ -n "$OLD" ]; then
-    go run ./cmd/benchjson -label "$label" -old "$OLD" -pair "$PAIR" <"$raw" >"$OUT"
+    # shellcheck disable=SC2086
+    go run ./cmd/benchjson -label "$label" -old "$OLD" -pair "$PAIR" $GATEARGS <"$raw" >"$OUT"
 else
-    go run ./cmd/benchjson -label "$label" -pair "$PAIR" <"$raw" >"$OUT"
+    # shellcheck disable=SC2086
+    go run ./cmd/benchjson -label "$label" -pair "$PAIR" $GATEARGS <"$raw" >"$OUT"
 fi
 echo "bench: wrote $OUT"

@@ -1,0 +1,242 @@
+// Live-telemetry contract: the streaming metrics registry agrees exactly
+// with a retained trace of the same run, the HTTP exporter serves both
+// exposition formats, and flight-recorder dumps are deterministic at any
+// parallel fan-out width.
+package vrcluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"vrcluster/internal/cluster"
+	"vrcluster/internal/core"
+	"vrcluster/internal/faults"
+	"vrcluster/internal/obs"
+	"vrcluster/internal/runner"
+	"vrcluster/internal/trace"
+	"vrcluster/internal/workload"
+)
+
+// reportTraceDivergence fails the test with the structured first-divergence
+// report (the same rendering cmd/vrdiff produces) instead of a raw byte
+// offset — the equivalence suites route their mismatches through here.
+func reportTraceDivergence(t *testing.T, aName, bName string, a, b []obs.Event) {
+	t.Helper()
+	var sb strings.Builder
+	if _, err := obs.WriteDiffReport(&sb, aName, bName, a, b, 3); err != nil {
+		t.Fatalf("diff report: %v", err)
+	}
+	t.Fatal("\n" + sb.String())
+}
+
+// streamRun executes one standard trace with a stream tracer feeding a
+// metrics series (and optionally a flight recorder), retaining nothing.
+func streamRun(t *testing.T, level int, s *obs.Series, rec *obs.FlightRecorder) {
+	t.Helper()
+	tr, err := trace.Standard(workload.Group1, level, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.NewVReconfiguration(core.Options{Lease: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := equivCluster(workload.Group1)
+	cfg.Quantum = equivQuantum
+	cfg.Obs = obs.NewStreamTracer()
+	cfg.Obs.SetMetrics(s)
+	cfg.Obs.SetFlightRecorder(rec)
+	c, err := cluster.New(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsSeriesMatchesTrace is the registry's acceptance check: every
+// per-kind counter must equal the count of that kind in a fully retained
+// trace of the identical run, and the histograms must have folded exactly
+// the closing events' payloads.
+func TestMetricsSeriesMatchesTrace(t *testing.T) {
+	const level = 3
+	events, _ := tracedRun(t, workload.Group1, level, faults.Plan{})
+	counts := obs.CountByKind(events)
+
+	reg := obs.NewRegistry()
+	s := reg.Series("vr", "SPEC-Trace-3", level)
+	streamRun(t, level, s, nil)
+
+	for k, want := range counts {
+		if got := s.KindCount(k); got != uint64(want) {
+			t.Errorf("%v: series %d vs trace %d", k, got, want)
+		}
+	}
+	snap := s.SnapshotSeries()
+	if int(snap.MigrationLatency.Count) != counts[obs.KindMigrationComplete] {
+		t.Errorf("migration histogram N = %d, trace has %d completions",
+			snap.MigrationLatency.Count, counts[obs.KindMigrationComplete])
+	}
+	if int(snap.EpisodeDuration.Count) != counts[obs.KindEpisodeClose] {
+		t.Errorf("episode histogram N = %d, trace has %d closes",
+			snap.EpisodeDuration.Count, counts[obs.KindEpisodeClose])
+	}
+	if int(snap.ReservationHold.Count) != counts[obs.KindReserveRelease] {
+		t.Errorf("reservation histogram N = %d, trace has %d releases",
+			snap.ReservationHold.Count, counts[obs.KindReserveRelease])
+	}
+	if snap.VirtualSeconds <= 0 {
+		t.Error("virtual-time gauge never advanced")
+	}
+	if snap.LiveNodes != int64(len(equivCluster(workload.Group1).Nodes)) {
+		t.Errorf("live nodes gauge = %d", snap.LiveNodes)
+	}
+	if snap.Reconfig.Started == 0 {
+		t.Error("reconfig counters never pushed (level 3 must start reservations)")
+	}
+	if len(snap.Partitions) == 0 {
+		t.Error("no partition gauges accumulated")
+	}
+}
+
+// TestServeMetricsHTTP boots the exporter on a loopback port and checks
+// all three endpoints against a populated registry.
+func TestServeMetricsHTTP(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := reg.Series("vr", "SPEC-Trace-1", 1)
+	streamRun(t, 1, s, nil)
+
+	srv, err := cluster.ServeMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	if !bytes.Contains(get("/healthz"), []byte("ok")) {
+		t.Error("healthz did not answer ok")
+	}
+
+	prom := get("/metrics")
+	for _, want := range []string{
+		"# TYPE vr_events_total counter",
+		`vr_events_total{policy="vr",trace="SPEC-Trace-1",level="1",kind="job-submit"}`,
+		"vr_virtual_time_seconds",
+		"# TYPE vr_episode_seconds histogram",
+	} {
+		if !bytes.Contains(prom, []byte(want)) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+
+	var doc struct {
+		Series []struct {
+			Policy string            `json:"policy"`
+			Trace  string            `json:"trace"`
+			Events map[string]uint64 `json:"events"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(get("/metrics.json"), &doc); err != nil {
+		t.Fatalf("metrics.json is not valid JSON: %v", err)
+	}
+	if len(doc.Series) != 1 || doc.Series[0].Policy != "vr" || doc.Series[0].Events["job-submit"] == 0 {
+		t.Fatalf("metrics.json payload = %+v", doc.Series)
+	}
+}
+
+// flightDump runs one level with a flight recorder and returns the JSONL
+// bytes of a dump triggered at the end of the run.
+func flightDump(level, ring int) ([]byte, error) {
+	var dump bytes.Buffer
+	rec := obs.NewFlightRecorder(obs.FlightConfig{
+		Ring: ring,
+		Sink: func(reason string, events []obs.Event) error {
+			dump.Reset()
+			return obs.WriteJSONL(&dump, events)
+		},
+	})
+	tr, err := trace.Standard(workload.Group1, level, 1)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := core.NewVReconfiguration(core.Options{Lease: 30 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	cfg := cluster.Cluster1()
+	cfg.Quantum = equivQuantum
+	cfg.Obs = obs.NewStreamTracer()
+	cfg.Obs.SetFlightRecorder(rec)
+	c, err := cluster.New(cfg, sched)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Run(tr); err != nil {
+		return nil, err
+	}
+	rec.Trigger("end-of-run")
+	if rec.Err() != nil {
+		return nil, rec.Err()
+	}
+	return append([]byte(nil), dump.Bytes()...), nil
+}
+
+// TestFlightDumpDeterministicAcrossParallelWidths is the flight-recorder
+// acceptance check: with the same seed and trigger point, the dumped ring
+// is byte-identical whether runs fan out over 1 or 8 workers — the ring
+// only ever sees the deterministically ordered event stream.
+func TestFlightDumpDeterministicAcrossParallelWidths(t *testing.T) {
+	levels := []int{1, 2, 3}
+	const ring = 2048
+	runWidth := func(parallel int) [][]byte {
+		out, err := runner.Map(parallel, levels, func(_ int, lvl int) ([]byte, error) {
+			return flightDump(lvl, ring)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	sequential := runWidth(1)
+	wide := runWidth(8)
+	for i, lvl := range levels {
+		if len(sequential[i]) == 0 {
+			t.Fatalf("level %d produced an empty dump", lvl)
+		}
+		if !bytes.Equal(sequential[i], wide[i]) {
+			t.Errorf("level %d flight dump differs between -parallel 1 and -parallel 8", lvl)
+		}
+	}
+	// The ring must have wrapped for the check to exercise eviction, and a
+	// dump is valid JSONL input for the trace tooling.
+	events, err := obs.ReadJSONL(bytes.NewReader(sequential[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != ring {
+		t.Errorf("level-3 dump holds %d events; expected a full (wrapped) ring of %d", len(events), ring)
+	}
+}
